@@ -1,0 +1,52 @@
+/// Compare all five search strategies on one operator (a 14x14x256x256
+/// 3x3 convolution — the C2D workload class of Table 6) under the same trial
+/// budget, printing a convergence table: Table 1 of the paper, in numbers.
+///
+///   ./build/examples/example_compare_searchers [trials]   (default 300)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/harl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace harl;
+  std::int64_t trials = argc > 1 ? std::atoll(argv[1]) : 300;
+
+  Subgraph conv = make_conv2d(1, 14, 14, 256, 256, 3, 1, 1);
+  HardwareConfig cpu = HardwareConfig::xeon_6226r();
+  std::printf("C2D(14,14,256,256,k3,s1,p1), %lld trials per searcher\n\n",
+              static_cast<long long>(trials));
+
+  std::vector<PolicyKind> kinds = {PolicyKind::kRandom, PolicyKind::kAutoTvmSa,
+                                   PolicyKind::kFlextensor, PolicyKind::kAnsor,
+                                   PolicyKind::kHarlFixedLength, PolicyKind::kHarl};
+
+  Table table("search strategy comparison");
+  std::vector<std::string> header = {"policy"};
+  for (int frac = 1; frac <= 4; ++frac) {
+    header.push_back("best@" + std::to_string(trials * frac / 4));
+  }
+  header.push_back("wall s");
+  table.set_header(header);
+
+  double overall_best = 1e300;
+  std::vector<std::vector<std::string>> rows;
+  for (PolicyKind kind : kinds) {
+    TuningSession session(conv, cpu, quick_options(kind, 99));
+    session.run(trials);
+    const auto& curve = session.scheduler().task(0).curve();
+    std::vector<std::string> row = {policy_kind_name(kind)};
+    for (int frac = 1; frac <= 4; ++frac) {
+      row.push_back(Table::fmt(best_at(curve, trials * frac / 4), 4));
+    }
+    row.push_back(Table::fmt(session.wall_seconds(), 1));
+    overall_best = std::min(overall_best, session.task_best_ms(0));
+    rows.push_back(std::move(row));
+  }
+  for (auto& r : rows) table.add_row(std::move(r));
+  table.print();
+  std::printf("\nbest schedule found across all searchers: %.4f ms\n", overall_best);
+  std::printf("(times are simulated milliseconds on the Xeon-6226R model)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "bandit/sw_ucb.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace harl {
+
+SwUcb::SwUcb(int num_arms, Config cfg)
+    : num_arms_(num_arms),
+      cfg_(cfg),
+      window_sum_(static_cast<std::size_t>(num_arms), 0.0),
+      window_n_(static_cast<std::size_t>(num_arms), 0),
+      lifetime_n_(static_cast<std::size_t>(num_arms), 0) {
+  HARL_CHECK(num_arms >= 1, "SwUcb needs at least one arm");
+  HARL_CHECK(cfg.window >= 1, "SwUcb window must be >= 1");
+}
+
+double SwUcb::ucb_score(int arm) const {
+  int n = window_n_[static_cast<std::size_t>(arm)];
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  double q = window_sum_[static_cast<std::size_t>(arm)] / n;
+  double horizon = static_cast<double>(std::min<long>(t_, cfg_.window));
+  double bonus = cfg_.c * std::sqrt(std::log(std::max(1.0, horizon)) / n);
+  return q + bonus;
+}
+
+int SwUcb::select() const {
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int a = 0; a < num_arms_; ++a) {
+    double s = ucb_score(a);
+    if (s > best_score) {
+      best_score = s;
+      best = a;
+      if (s == std::numeric_limits<double>::infinity()) break;  // first unvisited
+    }
+  }
+  return best;
+}
+
+void SwUcb::update(int arm, double reward) {
+  window_.emplace_back(arm, reward);
+  window_sum_[static_cast<std::size_t>(arm)] += reward;
+  ++window_n_[static_cast<std::size_t>(arm)];
+  ++lifetime_n_[static_cast<std::size_t>(arm)];
+  ++t_;
+  while (window_.size() > static_cast<std::size_t>(cfg_.window)) {
+    auto [old_arm, old_reward] = window_.front();
+    window_.pop_front();
+    window_sum_[static_cast<std::size_t>(old_arm)] -= old_reward;
+    --window_n_[static_cast<std::size_t>(old_arm)];
+  }
+}
+
+double SwUcb::q_value(int arm) const {
+  int n = window_n_[static_cast<std::size_t>(arm)];
+  return n > 0 ? window_sum_[static_cast<std::size_t>(arm)] / n : 0.0;
+}
+
+int SwUcb::window_count(int arm) const {
+  return window_n_[static_cast<std::size_t>(arm)];
+}
+
+long SwUcb::lifetime_count(int arm) const {
+  return lifetime_n_[static_cast<std::size_t>(arm)];
+}
+
+}  // namespace harl

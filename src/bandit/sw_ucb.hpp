@@ -1,0 +1,59 @@
+#pragma once
+
+#include <deque>
+#include <vector>
+
+namespace harl {
+
+/// Sliding-Window Upper Confidence Bound for non-stationary multi-armed
+/// bandits (Garivier & Moulines), Eq. 1 of the paper:
+///
+///   O_t = argmax_a ( Q_t(tau, a) + c * sqrt( ln(min(t, tau)) / N_t(tau, a) ) )
+///
+/// where Q_t(tau, a) is the average reward of arm `a` over the most recent
+/// `tau` pulls and N_t(tau, a) the number of those pulls that chose `a`.
+/// HARL instantiates one SW-UCB for subgraph selection (reward: Ansor's
+/// gradient-estimation improvement, Eq. 3/4) and one per subgraph for sketch
+/// selection (reward: windowed normalized performance, Eq. 2).
+struct SwUcbConfig {
+  double c = 0.25;   ///< exploration constant (Table 5)
+  int window = 256;  ///< tau (Table 5)
+};
+
+class SwUcb {
+ public:
+  using Config = SwUcbConfig;
+
+  SwUcb(int num_arms, Config cfg = {});
+
+  int num_arms() const { return num_arms_; }
+
+  /// Arm to pull next. Unvisited (within the window) arms take priority in
+  /// index order, matching the +inf exploration bonus of N = 0.
+  int select() const;
+
+  /// Record the reward of a pull; slides the window.
+  void update(int arm, double reward);
+
+  /// Windowed statistics (Q_t and N_t of Eq. 1).
+  double q_value(int arm) const;
+  int window_count(int arm) const;
+  long total_pulls() const { return t_; }
+  /// Lifetime pull count per arm (for allocation reports, Figure 10).
+  long lifetime_count(int arm) const;
+
+  /// The full UCB score of an arm (Q + exploration bonus); unvisited arms
+  /// report +infinity.
+  double ucb_score(int arm) const;
+
+ private:
+  int num_arms_;
+  Config cfg_;
+  long t_ = 0;
+  std::deque<std::pair<int, double>> window_;  ///< (arm, reward), oldest first
+  std::vector<double> window_sum_;
+  std::vector<int> window_n_;
+  std::vector<long> lifetime_n_;
+};
+
+}  // namespace harl

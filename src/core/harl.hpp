@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file harl.hpp
+/// Umbrella header: the full public API of the HARL reproduction.
+///
+/// Layering (bottom-up):
+///   util       - RNG, stats, tables, logging, thread pool
+///   ir         - axes, tensor operators, subgraphs, networks
+///   workloads  - Table 6 operator suites; BERT/ResNet-50/MobileNet-V2
+///   sched      - sketches (Table 2), schedules, tiling math, actions (Table 3)
+///   hwsim      - analytical hardware model + trial-accounting measurer
+///   features   - schedule featurization
+///   cost       - GBDT cost model (the paper's XGBoost)
+///   nn / rl    - MLP + PPO actor-critic
+///   bandit     - SW-UCB (Eq. 1)
+///   search     - HARL (Algorithm 1), adaptive stopping (Section 5),
+///                Ansor/Flextensor/AutoTVM/random baselines, task scheduler
+///   core       - TuningSession entry point, option presets
+
+#include "bandit/sw_ucb.hpp"
+#include "core/presets.hpp"
+#include "core/report.hpp"
+#include "core/tuning.hpp"
+#include "cost/cost_model.hpp"
+#include "features/feature_extractor.hpp"
+#include "hwsim/hardware_config.hpp"
+#include "hwsim/measurer.hpp"
+#include "hwsim/simulator.hpp"
+#include "ir/subgraph.hpp"
+#include "ir/tensor_op.hpp"
+#include "rl/ppo.hpp"
+#include "sched/actions.hpp"
+#include "sched/schedule.hpp"
+#include "sched/sketch.hpp"
+#include "sched/tiling.hpp"
+#include "search/adaptive_stopping.hpp"
+#include "search/task_scheduler.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workloads/networks.hpp"
+#include "workloads/operators.hpp"
+#include "workloads/suites.hpp"

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "search/task_scheduler.hpp"
+
+namespace harl {
+
+/// Option presets.
+///
+/// `paper_options` reproduces Table 5 / Section 6.2 verbatim: adaptive
+/// stopping with lambda=20, rho=0.5, p-hat=64, 256 initial tracks; PPO with
+/// lr_a=3e-4, lr_c=1e-3, gamma=0.9, w_MSE=0.5, w_entropy=0.01, T_rl=2;
+/// SW-UCB with c=0.25, tau=256; gradient alpha=0.2, beta=2.
+///
+/// `quick_options` shrinks only the *scale* knobs (track counts, population,
+/// PPO minibatch) so the full benchmark suite runs in minutes on a laptop
+/// while preserving every algorithmic property; all learning-rate/UCB/
+/// gradient hyper-parameters stay at the paper values.  Benchmarks use this
+/// preset by default and accept `--paper` to switch.
+SearchOptions quick_options(PolicyKind policy, std::uint64_t seed = 42);
+SearchOptions paper_options(PolicyKind policy, std::uint64_t seed = 42);
+
+}  // namespace harl

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "core/tuning.hpp"
+
+namespace harl {
+
+/// Human-readable report of a finished (or in-progress) tuning session:
+/// header with workload/hardware/policy, the estimated end-to-end latency,
+/// a per-subgraph table (weight, best time, trials, rounds, sketch of the
+/// best schedule), a down-sampled convergence curve, and — for multi-task
+/// sessions — the trial-allocation summary.
+///
+/// Intended for logs and example programs; benchmark harnesses print the
+/// paper's specific tables instead.
+std::string render_session_report(const TuningSession& session,
+                                  int curve_points = 10);
+
+/// Compact one-line summary: "<network>: <latency> ms after <trials> trials
+/// (<wall> s)".
+std::string session_summary_line(const TuningSession& session);
+
+}  // namespace harl

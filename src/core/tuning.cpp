@@ -1,0 +1,53 @@
+#include "core/tuning.hpp"
+
+#include <chrono>
+#include <limits>
+
+namespace harl {
+
+namespace {
+
+Network single_op_network(const Subgraph& graph) {
+  Network net;
+  net.name = graph.name();
+  net.subgraphs.push_back(graph);
+  return net;
+}
+
+}  // namespace
+
+TuningSession::TuningSession(Network network, HardwareConfig hw, SearchOptions opts)
+    : network_(std::move(network)),
+      hw_(std::move(hw)),
+      simulator_(hw_),
+      measurer_(&simulator_, opts.seed ^ 0x4d454153ULL),
+      scheduler_(std::make_unique<TaskScheduler>(&network_, &hw_, opts)) {}
+
+TuningSession::TuningSession(const Subgraph& graph, HardwareConfig hw,
+                             SearchOptions opts)
+    : TuningSession(single_op_network(graph), std::move(hw), opts) {}
+
+void TuningSession::run(std::int64_t trials) {
+  auto t0 = std::chrono::steady_clock::now();
+  scheduler_->run(measurer_, trials);
+  auto t1 = std::chrono::steady_clock::now();
+  wall_seconds_ += std::chrono::duration<double>(t1 - t0).count();
+}
+
+std::int64_t trials_to_reach(const std::vector<CurvePoint>& curve, double target_ms) {
+  for (const CurvePoint& p : curve) {
+    if (p.best_ms <= target_ms) return p.trials;
+  }
+  return -1;
+}
+
+double best_at(const std::vector<CurvePoint>& curve, std::int64_t trials) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const CurvePoint& p : curve) {
+    if (p.trials > trials) break;
+    best = p.best_ms;
+  }
+  return best;
+}
+
+}  // namespace harl

@@ -1,0 +1,57 @@
+#include "cost/cost_model.hpp"
+
+#include <algorithm>
+
+#include "util/thread_pool.hpp"
+
+namespace harl {
+
+XgbCostModel::XgbCostModel(const HardwareConfig* hw, GbdtConfig cfg)
+    : extractor_(hw), model_(cfg) {}
+
+void XgbCostModel::update(const std::vector<Schedule>& scheds,
+                          const std::vector<double>& times_ms) {
+  for (std::size_t i = 0; i < scheds.size() && i < times_ms.size(); ++i) {
+    if (times_ms[i] <= 0) continue;
+    std::vector<double> f = extractor_.extract(scheds[i]);
+    features_.insert(features_.end(), f.begin(), f.end());
+    times_.push_back(times_ms[i]);
+    best_time_ms_ = best_time_ms_ == 0 ? times_ms[i] : std::min(best_time_ms_, times_ms[i]);
+  }
+  // Bound the training set: drop oldest rows beyond the cap.
+  if (times_.size() > kMaxSamples) {
+    std::size_t drop = times_.size() - kMaxSamples;
+    times_.erase(times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(drop));
+    features_.erase(features_.begin(),
+                    features_.begin() + static_cast<std::ptrdiff_t>(
+                                            drop * FeatureExtractor::kNumFeatures));
+  }
+  refit();
+}
+
+void XgbCostModel::refit() {
+  if (times_.size() < 4) return;
+  std::vector<double> labels(times_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i) labels[i] = best_time_ms_ / times_[i];
+  model_.fit(features_, FeatureExtractor::kNumFeatures, labels);
+}
+
+double XgbCostModel::predict(const Schedule& sched) const {
+  if (!model_.trained()) return 0.5;
+  std::vector<double> f = extractor_.extract(sched);
+  double score = model_.predict(f.data());
+  return std::clamp(score, kMinScore, 1.5);
+}
+
+std::vector<double> XgbCostModel::predict_batch(
+    const std::vector<Schedule>& scheds) const {
+  std::vector<double> out(scheds.size(), 0.5);
+  if (!model_.trained()) return out;
+  global_pool().parallel_for(scheds.size(), [&](std::size_t i) {
+    std::vector<double> f = extractor_.extract(scheds[i]);
+    out[i] = std::clamp(model_.predict(f.data()), kMinScore, 1.5);
+  });
+  return out;
+}
+
+}  // namespace harl

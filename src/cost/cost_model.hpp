@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/gbdt.hpp"
+#include "features/feature_extractor.hpp"
+#include "sched/schedule.hpp"
+
+namespace harl {
+
+/// The learned cost model C(.) of the paper (Section 4.3): an XGBoost-style
+/// GBDT trained online on measured schedules, used
+///   - as the RL reward function, r = (C(s') - C(s)) / C(s),
+///   - to score every visited schedule for the top-K selection phase,
+///   - to prune poor candidates without spending measurement trials.
+///
+/// Scores are normalized throughput in (0, 1]: label = best_time / time over
+/// all measurements seen so far (re-normalized as the best improves), so
+/// higher is better and 1.0 is the best schedule observed.
+class XgbCostModel {
+ public:
+  XgbCostModel(const HardwareConfig* hw, GbdtConfig cfg = {});
+
+  /// Record measured schedules and retrain (Algorithm 1, line 22).
+  void update(const std::vector<Schedule>& scheds, const std::vector<double>& times_ms);
+
+  /// Predicted throughput score, clamped to [kMinScore, 1.5].
+  /// Untrained models return the neutral prior 0.5.
+  double predict(const Schedule& sched) const;
+  std::vector<double> predict_batch(const std::vector<Schedule>& scheds) const;
+
+  bool trained() const { return model_.trained(); }
+  std::size_t num_samples() const { return times_.size(); }
+  double best_time_ms() const { return best_time_ms_; }
+
+  /// Keep at most this many most-recent samples (bounds refit cost).
+  static constexpr std::size_t kMaxSamples = 8192;
+  static constexpr double kMinScore = 1e-3;
+
+ private:
+  void refit();
+
+  FeatureExtractor extractor_;
+  Gbdt model_;
+  std::vector<double> features_;  ///< row-major sample matrix
+  std::vector<double> times_;     ///< measured execution times (ms)
+  double best_time_ms_ = 0;
+};
+
+}  // namespace harl

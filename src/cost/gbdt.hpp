@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace harl {
+
+/// Configuration of the gradient-boosted regression-tree learner.
+/// Defaults approximate the XGBoost settings Ansor uses for its cost model
+/// (shallow trees, shrinkage, mild row/column subsampling, L2 leaf
+/// regularization).
+struct GbdtConfig {
+  int num_trees = 50;
+  int max_depth = 6;
+  double learning_rate = 0.3;
+  int min_samples_leaf = 2;
+  double row_subsample = 0.9;
+  double col_subsample = 0.9;
+  double l2_lambda = 1.0;
+  std::uint64_t seed = 7;
+};
+
+/// A single regression tree fit on residuals with exact greedy splits
+/// (variance-gain criterion with L2 regularization on leaf values).
+class RegressionTree {
+ public:
+  /// Fit on rows `idx` of X (row-major, `num_features` wide) against
+  /// gradients g (residuals for squared loss).
+  void fit(const std::vector<double>& x, int num_features,
+           const std::vector<double>& g, const std::vector<int>& idx,
+           const GbdtConfig& cfg, Rng& rng);
+
+  double predict(const double* row) const;
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 for leaves
+    double threshold = 0;   ///< go left when x[feature] <= threshold
+    double value = 0;       ///< leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const std::vector<double>& x, int num_features,
+            const std::vector<double>& g, std::vector<int>& idx, int begin, int end,
+            int depth, const GbdtConfig& cfg, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+/// Gradient-boosted ensemble for least-squares regression.
+///
+/// This is the reproduction's XGBoost: the learned cost model (paper
+/// Section 4.3) is an instance trained online on measured schedules.
+class Gbdt {
+ public:
+  explicit Gbdt(GbdtConfig cfg = {});
+
+  /// Fit from scratch on row-major X (n x num_features) and targets y.
+  void fit(const std::vector<double>& x, int num_features, const std::vector<double>& y);
+
+  /// Prediction for one row (must have num_features entries).
+  double predict(const double* row) const;
+
+  bool trained() const { return !trees_.empty(); }
+  int num_features() const { return num_features_; }
+  const GbdtConfig& config() const { return cfg_; }
+
+ private:
+  GbdtConfig cfg_;
+  double base_score_ = 0;
+  int num_features_ = 0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace harl

@@ -1,0 +1,217 @@
+#include "features/feature_extractor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harl {
+
+namespace {
+
+double log2p1(double x) { return std::log2(1.0 + std::max(0.0, x)); }
+
+/// Per-axis inner sizes of a stage at a given spatial/reduction level pair.
+std::vector<std::int64_t> inner_sizes(const TensorOp& op, const StageSchedule& ss,
+                                      int spatial_level, int reduction_level) {
+  std::vector<std::int64_t> sizes(op.axes.size(), 1);
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    const TileVector& t = ss.tiles[a];
+    int lvl = op.axes[a].kind == AxisKind::kSpatial ? spatial_level : reduction_level;
+    sizes[a] = t.inner_size(std::min(lvl, t.levels()));
+  }
+  return sizes;
+}
+
+double footprint_at(const TensorOp& op, const std::vector<std::int64_t>& inner) {
+  double bytes = 0;
+  for (const TensorAccess& in : op.inputs) {
+    bytes += static_cast<double>(in.tile_bytes(inner));
+  }
+  double out = 1;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind == AxisKind::kSpatial) out *= static_cast<double>(inner[a]);
+  }
+  return bytes + out * op.out_elem_bytes;
+}
+
+}  // namespace
+
+void FeatureExtractor::extract_into(const Schedule& sched, double* out) const {
+  std::fill(out, out + kNumFeatures, 0.0);
+  const Sketch& sk = *sched.sketch;
+  const Subgraph& g = *sk.graph;
+  const HardwareConfig& hw = *hw_;
+
+  // --- Global program features (0..6) --------------------------------------
+  double total_flops = 0;
+  double total_bytes = 0;
+  for (int s = 0; s < g.num_stages(); ++s) {
+    total_flops += g.stage(s).op.total_flops();
+    total_bytes += static_cast<double>(g.stage(s).op.input_bytes_once() +
+                                       g.stage(s).op.output_bytes());
+  }
+  out[0] = log2p1(total_flops);
+  out[1] = log2p1(total_bytes);
+  out[2] = log2p1(total_flops / std::max(1.0, total_bytes));
+  out[3] = static_cast<double>(g.num_stages());
+  int anchor = g.anchor_stage();
+  const StagePlan& aplan = sk.plan(anchor);
+  out[4] = aplan.cache_write ? 1.0 : 0.0;
+  out[5] = aplan.rfactor ? 1.0 : 0.0;
+  bool has_fused = false;
+  for (const StagePlan& p : sk.plans) {
+    has_fused = has_fused || p.structure == StageStructure::kFusedConsumer;
+  }
+  out[6] = has_fused ? 1.0 : 0.0;
+
+  // --- Anchor stage knobs (7..15) -------------------------------------------
+  const TensorOp& op = g.stage(anchor).op;
+  const StageSchedule& ss = sched.stage(anchor);
+  if (ss.tiles.empty()) return;  // fully structural stage; globals only
+
+  double parallel_iters = 1;
+  int seen_spatial = 0;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind != AxisKind::kSpatial) continue;
+    if (seen_spatial++ >= ss.parallel_depth) break;
+    if (!ss.tiles[a].factors.empty()) {
+      parallel_iters *= static_cast<double>(ss.tiles[a].factors[0]);
+    }
+  }
+  out[7] = log2p1(parallel_iters);
+  out[8] = std::min(8.0, parallel_iters / hw.num_cores);
+  double chunks = std::ceil(parallel_iters / hw.num_cores);
+  out[9] = parallel_iters / std::max(1.0, chunks * std::min<double>(parallel_iters,
+                                                                    hw.num_cores));
+  int last_spatial = -1;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind == AxisKind::kSpatial) last_spatial = static_cast<int>(a);
+  }
+  double innermost = last_spatial >= 0 && !ss.tiles[static_cast<std::size_t>(last_spatial)]
+                                               .factors.empty()
+                         ? static_cast<double>(
+                               ss.tiles[static_cast<std::size_t>(last_spatial)].factors.back())
+                         : 1.0;
+  out[10] = log2p1(innermost);
+  double lanes = hw.vector_lanes;
+  out[11] = innermost / (std::ceil(innermost / lanes) * lanes);
+  double unroll = static_cast<double>(
+      hw.unroll_depths[static_cast<std::size_t>(ss.unroll_index)]);
+  out[12] = log2p1(unroll);
+  out[13] = hw.num_unroll_options() > 1
+                ? static_cast<double>(ss.unroll_index) / (hw.num_unroll_options() - 1)
+                : 0.0;
+  int ca_stage = sk.primary_compute_at_stage;
+  out[14] = ca_stage >= 0 ? static_cast<double>(sched.stage(ca_stage).compute_at) /
+                                (kComputeAtCandidates - 1)
+                          : 0.0;
+  out[15] = static_cast<double>(ss.parallel_depth) /
+            std::max(1, op.num_spatial_axes());
+
+  // --- Per-level tile products (16..21) -------------------------------------
+  for (int lvl = 0; lvl < kSpatialTileLevels; ++lvl) {
+    double prod = 1;
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind == AxisKind::kSpatial && lvl < ss.tiles[a].levels()) {
+        prod *= static_cast<double>(ss.tiles[a].factors[static_cast<std::size_t>(lvl)]);
+      }
+    }
+    out[16 + lvl] = log2p1(prod);
+  }
+  for (int lvl = 0; lvl < kReductionTileLevels; ++lvl) {
+    double prod = 1;
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind == AxisKind::kReduction && lvl < ss.tiles[a].levels()) {
+        prod *= static_cast<double>(ss.tiles[a].factors[static_cast<std::size_t>(lvl)]);
+      }
+    }
+    out[20 + lvl] = log2p1(prod);
+  }
+
+  // --- Working-set-to-cache ratios (22..30) ----------------------------------
+  // Footprints at three representative blocking depths vs each cache level.
+  double fp_inner = footprint_at(op, inner_sizes(op, ss, kSpatialTileLevels - 1,
+                                                 kReductionTileLevels));
+  double fp_mid = footprint_at(op, inner_sizes(op, ss, 2, 1));
+  double fp_outer = footprint_at(op, inner_sizes(op, ss, 1, 0));
+  int fi = 22;
+  for (std::size_t c = 0; c + 1 < hw.levels.size() && fi < 31; ++c) {
+    double cap = hw.levels[c].capacity_bytes;
+    out[fi++] = std::min(8.0, fp_inner / cap);
+    out[fi++] = std::min(8.0, fp_mid / cap);
+    out[fi++] = std::min(8.0, fp_outer / cap);
+  }
+
+  // --- Per-axis innermost factors (31..38), up to 4 spatial + 2 reduction ---
+  int si = 31;
+  int ri = 35;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind == AxisKind::kSpatial && si < 35) {
+      out[si++] = log2p1(static_cast<double>(ss.tiles[a].factors.back()));
+    } else if (op.axes[a].kind == AxisKind::kReduction && ri < 37) {
+      out[ri++] = log2p1(static_cast<double>(ss.tiles[a].factors.back()));
+    }
+  }
+
+  // --- Outer trip counts and points (37..41) ---------------------------------
+  double outer_trips = 1;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (!ss.tiles[a].factors.empty()) {
+      outer_trips *= static_cast<double>(ss.tiles[a].factors[0]);
+    }
+  }
+  out[37] = log2p1(outer_trips);
+  out[38] = log2p1(static_cast<double>(op.iter_space_points()));
+  out[39] = log2p1(static_cast<double>(op.output_elems()));
+  double red_points = 1;
+  for (const Axis& ax : op.axes) {
+    if (ax.kind == AxisKind::kReduction) red_points *= static_cast<double>(ax.extent);
+  }
+  out[40] = log2p1(red_points);
+  out[41] = static_cast<double>(sk.sketch_id);
+
+  // Remaining slots (42..47) reserved (zero) for forward compatibility.
+}
+
+std::vector<double> FeatureExtractor::extract(const Schedule& sched) const {
+  std::vector<double> out(kNumFeatures, 0.0);
+  extract_into(sched, out.data());
+  return out;
+}
+
+std::vector<double> slot_features(const Schedule& sched,
+                                  const std::vector<TileSlot>& slots) {
+  std::vector<double> out;
+  out.reserve(slots.size());
+  for (const TileSlot& slot : slots) {
+    const TileVector& t =
+        sched.stage(slot.stage).tiles[static_cast<std::size_t>(slot.axis)];
+    double extent = static_cast<double>(t.product());
+    double f = static_cast<double>(t.factors[static_cast<std::size_t>(slot.level)]);
+    out.push_back(extent > 1 ? std::log2(f) / std::log2(extent) : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> rl_observation(const FeatureExtractor& fx, const ActionSpace& space,
+                                   const Schedule& sched) {
+  std::vector<double> obs = fx.extract(sched);
+  std::vector<double> slots = slot_features(sched, space.slots());
+  obs.insert(obs.end(), slots.begin(), slots.end());
+  const Sketch& sk = space.sketch();
+  int ca_stage = sk.primary_compute_at_stage;
+  obs.push_back(ca_stage >= 0 ? static_cast<double>(sched.stage(ca_stage).compute_at) /
+                                    (kComputeAtCandidates - 1)
+                              : 0.0);
+  int anchor = sk.graph->anchor_stage();
+  const TensorOp& aop = sk.graph->stage(anchor).op;
+  const StageSchedule& ass = sched.stage(anchor);
+  obs.push_back(static_cast<double>(ass.parallel_depth) /
+                std::max(1, aop.num_spatial_axes()));
+  obs.push_back(space.num_unroll_options() > 1
+                    ? static_cast<double>(ass.unroll_index) /
+                          (space.num_unroll_options() - 1)
+                    : 0.0);
+  return obs;
+}
+
+}  // namespace harl

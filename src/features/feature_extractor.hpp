@@ -1,0 +1,49 @@
+#pragma once
+
+#include <vector>
+
+#include "hwsim/hardware_config.hpp"
+#include "sched/actions.hpp"
+#include "sched/schedule.hpp"
+
+namespace harl {
+
+/// Ansor-style schedule featurization for the learned cost model and the RL
+/// agent's observation.
+///
+/// Produces a fixed-width vector of structural program properties: work and
+/// traffic magnitudes, arithmetic intensity, per-level tile products,
+/// innermost/vectorizable extents, parallelism and load balance, unroll
+/// depth, compute-at position, and working-set-to-cache-capacity ratios.
+/// Deliberately *not* the simulator's full traffic model: the cost model has
+/// to learn the landscape from measurements (as XGBoost does in the paper),
+/// not read it off a feature.
+class FeatureExtractor {
+ public:
+  static constexpr int kNumFeatures = 48;
+
+  explicit FeatureExtractor(const HardwareConfig* hw) : hw_(hw) {}
+
+  /// Feature vector of fixed length kNumFeatures.
+  std::vector<double> extract(const Schedule& sched) const;
+  void extract_into(const Schedule& sched, double* out) const;
+
+  const HardwareConfig& hardware() const { return *hw_; }
+
+ private:
+  const HardwareConfig* hw_;
+};
+
+/// Per-tile-slot features for the RL observation: log2(factor)/log2(extent)
+/// of every (stage, axis, level) slot of the action space, in slot order.
+/// Gives the policy network direct sight of the tiling state it mutates.
+std::vector<double> slot_features(const Schedule& sched,
+                                  const std::vector<TileSlot>& slots);
+
+/// Full RL observation: FeatureExtractor output followed by slot features
+/// and the normalized compute-at/parallel/unroll knob values.
+/// Dimension: FeatureExtractor::kNumFeatures + slots.size() + 3.
+std::vector<double> rl_observation(const FeatureExtractor& fx, const ActionSpace& space,
+                                   const Schedule& sched);
+
+}  // namespace harl

@@ -1,0 +1,101 @@
+#include "hwsim/hardware_config.hpp"
+
+#include <sstream>
+
+namespace harl {
+
+std::string HardwareConfig::validate() const {
+  std::ostringstream err;
+  if (num_cores < 1) err << "num_cores < 1; ";
+  if (freq_ghz <= 0) err << "freq_ghz <= 0; ";
+  if (vector_lanes < 1) err << "vector_lanes < 1; ";
+  if (levels.size() < 2) err << "need at least one cache level plus backing store; ";
+  if (!levels.empty()) {
+    if (levels.back().capacity_bytes != 0) {
+      err << "last level must be the infinite backing store (capacity 0); ";
+    }
+    for (std::size_t i = 0; i + 1 < levels.size(); ++i) {
+      if (levels[i].capacity_bytes <= 0) err << "cache level " << i << " capacity <= 0; ";
+      if (i + 2 < levels.size() &&
+          levels[i].capacity_bytes >= levels[i + 1].capacity_bytes) {
+        err << "cache capacities not increasing at level " << i << "; ";
+      }
+    }
+    for (const CacheLevel& l : levels) {
+      if (l.serve_bandwidth_gbps <= 0) err << "level '" << l.name << "' bandwidth <= 0; ";
+    }
+  }
+  if (unroll_depths.empty() || unroll_depths.front() != 0) {
+    err << "unroll_depths must start with 0; ";
+  }
+  for (std::size_t i = 0; i + 1 < unroll_depths.size(); ++i) {
+    if (unroll_depths[i] >= unroll_depths[i + 1]) err << "unroll_depths not increasing; ";
+  }
+  return err.str();
+}
+
+HardwareConfig HardwareConfig::xeon_6226r() {
+  HardwareConfig hw;
+  hw.name = "xeon_6226r";
+  hw.num_cores = 32;
+  hw.freq_ghz = 2.9;
+  hw.vector_lanes = 16;             // AVX-512 fp32
+  hw.flops_per_cycle_per_lane = 4;  // 2 FMA pipes x 2 flops
+  hw.levels = {
+      {"L1", 32.0 * 1024, 400.0, true},
+      {"L2", 1024.0 * 1024, 150.0, true},
+      {"L3", 22.0 * 1024 * 1024, 320.0, false},
+      {"DRAM", 0, 110.0, false},
+  };
+  hw.fork_join_us = 4.0;
+  hw.loop_overhead_cycles = 2.0;
+  hw.stage_call_overhead_cycles = 60.0;
+  hw.icache_unroll_limit = 128.0;
+  hw.unroll_depths = {0, 16, 64, 512};
+  hw.noise_sigma = 0.02;
+  return hw;
+}
+
+HardwareConfig HardwareConfig::rtx3090() {
+  HardwareConfig hw;
+  hw.name = "rtx3090";
+  hw.num_cores = 82;                // SMs
+  hw.freq_ghz = 1.7;
+  hw.vector_lanes = 32;             // warp lanes
+  hw.flops_per_cycle_per_lane = 4;  // 128 fp32 cores per SM / 32 lanes x 2 flops... x2 ILP
+  hw.levels = {
+      {"SMEM", 128.0 * 1024, 3000.0, true},
+      {"L2", 6.0 * 1024 * 1024, 2000.0, false},
+      {"DRAM", 0, 936.0, false},
+  };
+  hw.fork_join_us = 8.0;            // kernel launch
+  hw.loop_overhead_cycles = 1.0;
+  hw.stage_call_overhead_cycles = 40.0;
+  hw.icache_unroll_limit = 256.0;
+  hw.unroll_depths = {0, 16, 64, 512, 1024};
+  hw.noise_sigma = 0.02;
+  return hw;
+}
+
+HardwareConfig HardwareConfig::test_config() {
+  HardwareConfig hw;
+  hw.name = "test";
+  hw.num_cores = 4;
+  hw.freq_ghz = 1.0;
+  hw.vector_lanes = 4;
+  hw.flops_per_cycle_per_lane = 2;
+  hw.levels = {
+      {"L1", 16.0 * 1024, 100.0, true},
+      {"L2", 256.0 * 1024, 50.0, true},
+      {"DRAM", 0, 10.0, false},
+  };
+  hw.fork_join_us = 1.0;
+  hw.loop_overhead_cycles = 2.0;
+  hw.stage_call_overhead_cycles = 50.0;
+  hw.icache_unroll_limit = 64.0;
+  hw.unroll_depths = {0, 4, 16, 64};
+  hw.noise_sigma = 0.0;
+  return hw;
+}
+
+}  // namespace harl

@@ -1,0 +1,33 @@
+#include "hwsim/measurer.hpp"
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace harl {
+
+Measurer::Measurer(const CostSimulator* sim, std::uint64_t seed)
+    : sim_(sim), seed_(seed) {}
+
+double Measurer::noisy(double ms, std::int64_t trial_index) const {
+  double sigma = sim_->hardware().noise_sigma;
+  if (sigma <= 0) return ms;
+  // Per-trial generator: deterministic regardless of measurement threading.
+  Rng rng(seed_ ^ (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(trial_index + 1)));
+  return ms * rng.next_lognoise(sigma);
+}
+
+double Measurer::measure_ms(const Schedule& sched) {
+  std::int64_t idx = trials_.fetch_add(1);
+  return noisy(sim_->simulate_ms(sched), idx);
+}
+
+std::vector<double> Measurer::measure_batch(const std::vector<Schedule>& scheds) {
+  std::vector<double> out(scheds.size(), 0.0);
+  std::int64_t base = trials_.fetch_add(static_cast<std::int64_t>(scheds.size()));
+  global_pool().parallel_for(scheds.size(), [&](std::size_t i) {
+    out[i] = noisy(sim_->simulate_ms(scheds[i]), base + static_cast<std::int64_t>(i));
+  });
+  return out;
+}
+
+}  // namespace harl

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "hwsim/simulator.hpp"
+
+namespace harl {
+
+/// The measurement stage of the auto-scheduler: runs candidate schedules on
+/// the (simulated) target and reports execution times.
+///
+/// Mirrors the paper's measurer semantics:
+///   - every measurement consumes one *trial* from the tuning budget (the
+///     x-axis of Figures 7a/10 and the "1000 measurement trials" setting),
+///   - results carry multiplicative lognormal noise (hardware jitter) that is
+///     deterministic per (seed, trial index) so whole tuning runs replay
+///     bit-identically, including under the batch parallelism of
+///     `measure_batch`.
+class Measurer {
+ public:
+  Measurer(const CostSimulator* sim, std::uint64_t seed);
+
+  const CostSimulator& simulator() const { return *sim_; }
+
+  /// Measure one schedule; consumes one trial.
+  double measure_ms(const Schedule& sched);
+
+  /// Measure a batch concurrently; consumes one trial per schedule.
+  std::vector<double> measure_batch(const std::vector<Schedule>& scheds);
+
+  std::int64_t trials_used() const { return trials_.load(); }
+  void reset_trials() { trials_.store(0); }
+
+ private:
+  double noisy(double ms, std::int64_t trial_index) const;
+
+  const CostSimulator* sim_;
+  std::uint64_t seed_;
+  std::atomic<std::int64_t> trials_{0};
+};
+
+}  // namespace harl

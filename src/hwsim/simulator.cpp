@@ -1,0 +1,459 @@
+#include "hwsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace harl {
+
+namespace {
+
+/// The loop nest implied by one stage's schedule, outermost position first.
+/// Position ordering follows Ansor's multi-level tiling structure
+/// S0 S1 R0 S2 R1 S3 (fewer levels collapse naturally).
+struct Nest {
+  struct Position {
+    char kind;   // 'S' or 'R'
+    int level;   // tile level within the kind
+    double trips = 1;
+  };
+  std::vector<Position> positions;
+  std::vector<double> trips_prefix;        // [i] = product of trips[0..i-1]
+  std::vector<int> spatial_position_idx;   // position index of each S level
+  // inner[b + 1][axis]: per-axis inner tile size below boundary b, where
+  // boundary b in [-1, positions-1]; b == -1 is "outside everything".
+  std::vector<std::vector<std::int64_t>> inner;
+  int spatial_levels = 0;
+  int reduction_levels = 0;
+};
+
+Nest build_nest(const TensorOp& op, const StageSchedule& ss) {
+  Nest nest;
+  int ls = 0;
+  int lr = 0;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    int lv = ss.tiles[a].levels();
+    if (op.axes[a].kind == AxisKind::kSpatial) ls = std::max(ls, lv);
+    else lr = std::max(lr, lv);
+  }
+  nest.spatial_levels = ls;
+  nest.reduction_levels = lr;
+
+  std::vector<std::pair<char, int>> order;
+  if (ls > 0) order.push_back({'S', 0});
+  if (ls > 1) order.push_back({'S', 1});
+  int next_s = 2;
+  for (int r = 0; r < lr; ++r) {
+    order.push_back({'R', r});
+    if (next_s < ls) order.push_back({'S', next_s++});
+  }
+  while (next_s < ls) order.push_back({'S', next_s++});
+
+  // Trip counts per position.
+  for (auto [kind, level] : order) {
+    double trips = 1;
+    AxisKind want = kind == 'S' ? AxisKind::kSpatial : AxisKind::kReduction;
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind != want) continue;
+      if (level < ss.tiles[a].levels()) {
+        trips *= static_cast<double>(ss.tiles[a].factors[static_cast<std::size_t>(level)]);
+      }
+    }
+    nest.positions.push_back({kind, level, trips});
+    if (kind == 'S') nest.spatial_position_idx.push_back(
+        static_cast<int>(nest.positions.size()) - 1);
+  }
+
+  nest.trips_prefix.resize(nest.positions.size() + 1);
+  nest.trips_prefix[0] = 1;
+  for (std::size_t i = 0; i < nest.positions.size(); ++i) {
+    nest.trips_prefix[i + 1] = nest.trips_prefix[i] * nest.positions[i].trips;
+  }
+
+  // Per-boundary inner sizes.
+  std::vector<int> consumed(op.axes.size(), 0);
+  auto snapshot = [&]() {
+    std::vector<std::int64_t> sizes(op.axes.size());
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      sizes[a] = ss.tiles[a].inner_size(std::min(consumed[a], ss.tiles[a].levels()));
+    }
+    return sizes;
+  };
+  nest.inner.push_back(snapshot());  // boundary -1: full extents
+  for (const Nest::Position& pos : nest.positions) {
+    AxisKind want = pos.kind == 'S' ? AxisKind::kSpatial : AxisKind::kReduction;
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind == want && pos.level < ss.tiles[a].levels()) ++consumed[a];
+    }
+    nest.inner.push_back(snapshot());
+  }
+  return nest;
+}
+
+/// Boundary index for a compute-at knob value in [0, kComputeAtCandidates):
+/// 0 = root (-1), k = after the k-th spatial position.
+int boundary_for_compute_at(const Nest& nest, int ca) {
+  if (ca <= 0 || nest.spatial_position_idx.empty()) return -1;
+  int k = std::min<int>(ca, static_cast<int>(nest.spatial_position_idx.size()));
+  return nest.spatial_position_idx[static_cast<std::size_t>(k) - 1];
+}
+
+double out_tile_bytes(const TensorOp& op, const std::vector<std::int64_t>& inner) {
+  double n = 1;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind == AxisKind::kSpatial) n *= static_cast<double>(inner[a]);
+  }
+  return n * op.out_elem_bytes;
+}
+
+/// Footprint of one subtree: the bytes live below boundary `b`.
+/// `skip_input[i]` removes inputs that are served as cross-stage
+/// intermediates; the output accumulator is excluded below the cache-write
+/// flush boundary.
+double footprint_bytes(const TensorOp& op, const Nest& nest, int b,
+                       const std::vector<bool>& skip_input, bool include_output) {
+  const std::vector<std::int64_t>& inner = nest.inner[static_cast<std::size_t>(b + 1)];
+  double bytes = 0;
+  for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+    if (skip_input[i]) continue;
+    bytes += static_cast<double>(op.inputs[i].tile_bytes(inner));
+  }
+  if (include_output) bytes += out_tile_bytes(op, inner);
+  return bytes;
+}
+
+/// Smallest cache level whose capacity holds `bytes` (last = backing store).
+std::size_t fitting_level(const HardwareConfig& hw, double bytes) {
+  for (std::size_t c = 0; c + 1 < hw.levels.size(); ++c) {
+    if (bytes <= hw.levels[c].capacity_bytes) return c;
+  }
+  return hw.levels.size() - 1;
+}
+
+double level_bandwidth_bytes_per_s(const HardwareConfig& hw, std::size_t c,
+                                   double cores_used) {
+  const CacheLevel& l = hw.levels[c];
+  double bw = l.serve_bandwidth_gbps * 1e9;
+  if (l.per_core) bw *= std::max(1.0, cores_used);
+  return bw;
+}
+
+struct ParallelModel {
+  double parallel_iters = 1;
+  double cores_used = 1;
+  double speedup = 1;
+};
+
+ParallelModel parallel_model(const HardwareConfig& hw, const TensorOp& op,
+                             const StageSchedule& ss, bool rfactor) {
+  ParallelModel pm;
+  int pd = ss.parallel_depth;
+  int seen_spatial = 0;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind != AxisKind::kSpatial) continue;
+    if (seen_spatial++ >= pd) break;
+    if (!ss.tiles[a].factors.empty()) {
+      pm.parallel_iters *= static_cast<double>(ss.tiles[a].factors[0]);
+    }
+  }
+  if (rfactor) {
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind == AxisKind::kReduction && !ss.tiles[a].factors.empty()) {
+        pm.parallel_iters *= static_cast<double>(ss.tiles[a].factors[0]);
+      }
+    }
+  }
+  pm.parallel_iters = std::max(1.0, pm.parallel_iters);
+  pm.cores_used = std::min<double>(hw.num_cores, pm.parallel_iters);
+  double chunks = std::ceil(pm.parallel_iters / static_cast<double>(hw.num_cores));
+  pm.speedup = std::max(1.0, pm.parallel_iters / chunks);
+  return pm;
+}
+
+/// Vector-lane utilization of the innermost spatial extent.
+double vector_efficiency(const HardwareConfig& hw, const TensorOp& op,
+                         const StageSchedule& ss) {
+  int last_spatial = -1;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind == AxisKind::kSpatial) last_spatial = static_cast<int>(a);
+  }
+  if (last_spatial < 0) return 1.0;
+  const TileVector& t = ss.tiles[static_cast<std::size_t>(last_spatial)];
+  if (t.factors.empty()) return 1.0;
+  double e = static_cast<double>(t.factors.back());
+  double lanes = static_cast<double>(hw.vector_lanes);
+  double slots = std::ceil(e / lanes) * lanes;
+  return std::max(1.0 / lanes, e / slots);
+}
+
+double innermost_extent(const TensorOp& op, const StageSchedule& ss) {
+  int last_spatial = -1;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    if (op.axes[a].kind == AxisKind::kSpatial) last_spatial = static_cast<int>(a);
+  }
+  if (last_spatial < 0) return 1.0;
+  const TileVector& t = ss.tiles[static_cast<std::size_t>(last_spatial)];
+  return t.factors.empty() ? 1.0 : static_cast<double>(t.factors.back());
+}
+
+/// Extra work folded into a costed stage from inlined producers and fused
+/// consumers.
+struct FoldedExtras {
+  double flops = 0;
+  double dram_bytes = 0;  ///< compulsory external traffic of folded stages
+};
+
+/// Cost of one tiled/simple stage's own loop nest (no cross-stage folds).
+/// `redundancy` >= 1 multiplies compute and memory (compute-at recompute).
+StageCostBreakdown nest_cost(const HardwareConfig& hw, const Subgraph& g,
+                             const Sketch& sk, const Schedule& sched, int s,
+                             const FoldedExtras& extras, double redundancy,
+                             const std::vector<bool>& skip_input) {
+  const TensorOp& op = g.stage(s).op;
+  const StagePlan& plan = sk.plan(s);
+  const StageSchedule& ss = sched.stage(s);
+  StageCostBreakdown out;
+  out.stage = s;
+
+  Nest nest = build_nest(op, ss);
+  ParallelModel pm = parallel_model(hw, op, ss, plan.rfactor);
+  double ve = vector_efficiency(hw, op, ss);
+
+  // --- Compute time -------------------------------------------------------
+  double flops = op.total_flops() * redundancy + extras.flops;
+  double unroll_depth =
+      static_cast<double>(hw.unroll_depths[static_cast<std::size_t>(ss.unroll_index)]);
+  double icache_penalty = 1.0;
+  if (unroll_depth > hw.icache_unroll_limit && hw.icache_unroll_limit > 0) {
+    icache_penalty += 0.25 * std::log2(unroll_depth / hw.icache_unroll_limit);
+  }
+  double compute_s = flops / (hw.core_flops() * ve) / pm.speedup * icache_penalty;
+
+  // --- Loop overhead ------------------------------------------------------
+  double points = static_cast<double>(op.iter_space_points()) * redundancy;
+  double u = std::max(1.0, std::min(unroll_depth, innermost_extent(op, ss)));
+  double overhead_cycles = points * hw.loop_overhead_cycles / u;
+  double overhead_s = overhead_cycles / (hw.freq_ghz * 1e9) / pm.speedup;
+  if (pm.parallel_iters > 1) overhead_s += hw.fork_join_us * 1e-6;
+
+  // --- Memory time (capacity-aware roofline) ------------------------------
+  // Cache-write: the accumulator leaves the inner footprints below the flush
+  // boundary and is flushed trips x tile once per subtree instead.
+  int flush_boundary = -2;  // -2: no cache-write
+  if (plan.cache_write) {
+    flush_boundary = boundary_for_compute_at(nest, sched.stage(s).compute_at);
+  }
+  int num_boundaries = static_cast<int>(nest.positions.size());
+  double mem_s = 0;
+  for (std::size_t c = 0; c < hw.levels.size(); ++c) {
+    double cap = hw.levels[c].capacity_bytes;
+    int chosen = num_boundaries - 1;
+    double chosen_fp = 0;
+    for (int b = -1; b < num_boundaries; ++b) {
+      bool include_out = !(flush_boundary != -2 && b > flush_boundary);
+      double fp = footprint_bytes(op, nest, b, skip_input, include_out);
+      if (cap <= 0 || fp <= cap || b == num_boundaries - 1) {
+        chosen = b;
+        chosen_fp = fp;
+        break;
+      }
+    }
+    double traffic = nest.trips_prefix[static_cast<std::size_t>(chosen + 1)] * chosen_fp;
+    traffic *= redundancy;
+    double t = traffic / level_bandwidth_bytes_per_s(hw, c, pm.cores_used);
+    mem_s = std::max(mem_s, t);
+  }
+  // Folded external traffic (inlined producers / fused consumers) hits the
+  // backing store once.
+  if (extras.dram_bytes > 0) {
+    mem_s += extras.dram_bytes /
+             level_bandwidth_bytes_per_s(hw, hw.levels.size() - 1, pm.cores_used);
+  }
+
+  // --- Cache-write flush traffic ------------------------------------------
+  double transfer_s = 0;
+  if (flush_boundary != -2) {
+    const auto& inner = nest.inner[static_cast<std::size_t>(flush_boundary + 1)];
+    double tile_bytes = out_tile_bytes(op, inner);
+    double flushes = nest.trips_prefix[static_cast<std::size_t>(flush_boundary + 1)];
+    std::size_t lvl = fitting_level(hw, tile_bytes);
+    transfer_s += flushes * tile_bytes / level_bandwidth_bytes_per_s(hw, lvl, pm.cores_used);
+  }
+
+  // --- rfactor merge pass ---------------------------------------------------
+  if (plan.rfactor) {
+    double r_chunks = 1;
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind == AxisKind::kReduction && !ss.tiles[a].factors.empty()) {
+        r_chunks *= static_cast<double>(ss.tiles[a].factors[0]);
+      }
+    }
+    if (r_chunks > 1) {
+      double partials = static_cast<double>(op.output_elems()) * r_chunks;
+      double merge_bytes = partials * op.out_elem_bytes * 2;
+      std::size_t lvl = fitting_level(hw, merge_bytes);
+      transfer_s += merge_bytes / level_bandwidth_bytes_per_s(hw, lvl, pm.cores_used);
+      compute_s += partials / (hw.core_flops() * pm.cores_used / hw.vector_lanes);
+    }
+  }
+
+  out.compute_ms = compute_s * 1e3;
+  out.memory_ms = mem_s * 1e3;
+  out.overhead_ms = overhead_s * 1e3;
+  out.transfer_ms = transfer_s * 1e3;
+  // Compute and memory overlap (roofline); overheads and transfers serialize.
+  out.total_ms = std::max(out.compute_ms, out.memory_ms) + out.overhead_ms +
+                 out.transfer_ms;
+  return out;
+}
+
+}  // namespace
+
+CostSimulator::CostSimulator(HardwareConfig hw) : hw_(std::move(hw)) {
+  std::string err = hw_.validate();
+  HARL_CHECK(err.empty(), err.c_str());
+}
+
+double CostSimulator::simulate_ms(const Schedule& sched) const {
+  return simulate_ms(sched, nullptr);
+}
+
+double CostSimulator::simulate_ms(const Schedule& sched,
+                                  std::vector<StageCostBreakdown>* breakdown) const {
+  const Sketch& sk = *sched.sketch;
+  const Subgraph& g = *sk.graph;
+  const int n = g.num_stages();
+
+  // Classify stages and build fold lists.
+  std::vector<FoldedExtras> fold(static_cast<std::size_t>(n));
+  std::vector<bool> costed_by_consumer(static_cast<std::size_t>(n), false);
+  std::vector<int> fused_consumer_of(static_cast<std::size_t>(n), -1);
+
+  for (int s = 0; s < n; ++s) {
+    const StagePlan& plan = sk.plan(s);
+    if (plan.structure == StageStructure::kInlined) {
+      costed_by_consumer[static_cast<std::size_t>(s)] = true;
+      const std::vector<int>& cons = g.consumers(s);
+      if (!cons.empty()) {
+        FoldedExtras& f = fold[static_cast<std::size_t>(cons.front())];
+        f.flops += g.stage(s).op.total_flops();
+        f.dram_bytes += static_cast<double>(g.stage(s).op.input_bytes_once());
+      }
+    } else if (plan.structure == StageStructure::kFusedConsumer) {
+      costed_by_consumer[static_cast<std::size_t>(s)] = true;
+      // Find the tiled producer this stage fuses into.
+      for (int p : g.stage(s).producer_of_input) {
+        if (p >= 0 && sk.plan(p).structure == StageStructure::kTiled) {
+          fused_consumer_of[static_cast<std::size_t>(p)] = s;
+          break;
+        }
+      }
+    } else if (plan.structure == StageStructure::kTiled && !g.consumers(s).empty()) {
+      // A tiled stage feeding a real (non-fused) consumer: costed while
+      // costing the consumer, with compute-at redundancy applied.
+      int c = g.consumers(s).front();
+      if (sk.plan(c).structure != StageStructure::kFusedConsumer) {
+        costed_by_consumer[static_cast<std::size_t>(s)] = true;
+      }
+    }
+  }
+
+  double total_ms = 0;
+  for (int s = 0; s < n; ++s) {
+    if (costed_by_consumer[static_cast<std::size_t>(s)]) continue;
+    const TensorOp& op = g.stage(s).op;
+    FoldedExtras extras = fold[static_cast<std::size_t>(s)];
+
+    // Fused consumer folded into this stage's nest.
+    int fc = fused_consumer_of[static_cast<std::size_t>(s)];
+    double fused_transfer_ms = 0;
+    if (fc >= 0) {
+      const TensorOp& fop = g.stage(fc).op;
+      extras.flops += fop.total_flops();
+      // External inputs and output of the fused stage stream once.
+      for (std::size_t i = 0; i < fop.inputs.size(); ++i) {
+        if (g.stage(fc).producer_of_input[i] < 0) {
+          extras.dram_bytes +=
+              static_cast<double>(fop.inputs[i].tile_bytes(fop.full_tile()));
+        }
+      }
+      extras.dram_bytes += static_cast<double>(fop.output_bytes());
+    }
+
+    // Mark producer-served inputs: their traffic is the intermediate slab,
+    // not a cold stream from memory.
+    std::vector<bool> skip_input(op.inputs.size(), false);
+    std::vector<int> folded_producers;
+    for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+      int p = g.stage(s).producer_of_input[i];
+      if (p >= 0 && sk.plan(p).structure == StageStructure::kTiled) {
+        skip_input[i] = true;
+        folded_producers.push_back(p);
+      }
+    }
+
+    StageCostBreakdown cost =
+        nest_cost(hw_, g, sk, sched, s, extras, 1.0, skip_input);
+
+    // Fusion-level transfer for the fused consumer: the producer's output
+    // tile at the fusion boundary moves through the cache it fits in.
+    if (fc >= 0) {
+      Nest nest = build_nest(op, sched.stage(s));
+      ParallelModel pm = parallel_model(hw_, op, sched.stage(s), sk.plan(s).rfactor);
+      int b = boundary_for_compute_at(nest, sched.stage(fc).compute_at);
+      const auto& inner = nest.inner[static_cast<std::size_t>(b + 1)];
+      double slab = out_tile_bytes(op, inner);
+      double trips = nest.trips_prefix[static_cast<std::size_t>(b + 1)];
+      std::size_t lvl = fitting_level(hw_, slab);
+      fused_transfer_ms =
+          (trips * slab * 2 / level_bandwidth_bytes_per_s(hw_, lvl, pm.cores_used) +
+           trips * hw_.stage_call_overhead_cycles / (hw_.freq_ghz * 1e9) / pm.speedup) *
+          1e3;
+      cost.transfer_ms += fused_transfer_ms;
+      cost.total_ms += fused_transfer_ms;
+    }
+
+    // Cost folded tiled producers: redundancy from the consumer's compute-at
+    // position, plus the intermediate-slab transfer and invocation overhead.
+    for (int p : folded_producers) {
+      Nest nest = build_nest(op, sched.stage(s));
+      ParallelModel pm = parallel_model(hw_, op, sched.stage(s), sk.plan(s).rfactor);
+      int ca = sk.plan(p).has_compute_at_knob ? sched.stage(p).compute_at : 0;
+      int b = boundary_for_compute_at(nest, ca);
+      const auto& inner = nest.inner[static_cast<std::size_t>(b + 1)];
+      // Slab: the part of p's output one consumer subtree reads.
+      double slab_bytes = 0;
+      for (std::size_t i = 0; i < op.inputs.size(); ++i) {
+        if (g.stage(s).producer_of_input[i] == p) {
+          slab_bytes += static_cast<double>(op.inputs[i].tile_bytes(inner));
+        }
+      }
+      double trips = nest.trips_prefix[static_cast<std::size_t>(b + 1)];
+      const TensorOp& pop = g.stage(p).op;
+      double slab_elems = slab_bytes / std::max(1, pop.out_elem_bytes);
+      double redundancy =
+          std::max(1.0, trips * slab_elems / static_cast<double>(pop.output_elems()));
+
+      std::vector<bool> pskip(pop.inputs.size(), false);
+      StageCostBreakdown pc = nest_cost(hw_, g, sk, sched, p,
+                                        fold[static_cast<std::size_t>(p)], redundancy,
+                                        pskip);
+      std::size_t lvl = fitting_level(hw_, slab_bytes);
+      double xfer_ms =
+          (trips * slab_bytes * 2 / level_bandwidth_bytes_per_s(hw_, lvl, pm.cores_used) +
+           trips * hw_.stage_call_overhead_cycles / (hw_.freq_ghz * 1e9) / pm.speedup) *
+          1e3;
+      pc.transfer_ms += xfer_ms;
+      pc.total_ms += xfer_ms;
+      if (breakdown != nullptr) breakdown->push_back(pc);
+      total_ms += pc.total_ms;
+    }
+
+    if (breakdown != nullptr) breakdown->push_back(cost);
+    total_ms += cost.total_ms;
+  }
+  return total_ms;
+}
+
+}  // namespace harl

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hwsim/hardware_config.hpp"
+#include "sched/schedule.hpp"
+
+namespace harl {
+
+/// Per-stage cost breakdown returned by the simulator for diagnostics and
+/// white-box tests.
+struct StageCostBreakdown {
+  int stage = -1;
+  double compute_ms = 0;
+  double memory_ms = 0;
+  double overhead_ms = 0;   ///< loop + fork/join + invocation overheads
+  double transfer_ms = 0;   ///< producer/consumer intermediate traffic
+  double total_ms = 0;
+};
+
+/// Deterministic analytical execution-time model for concrete schedules.
+///
+/// This is the reproduction's "target hardware" (see DESIGN.md substitution
+/// table).  For every non-inlined stage it builds the multi-level loop nest
+/// implied by the schedule (Ansor-style S0 S1 R0 S2 R1 S3 ordering), derives
+/// the data footprint at every nest boundary from the operator's affine
+/// access maps, and charges:
+///
+///   - memory time:  for each cache level, the refill traffic is
+///     trips(outermost boundary whose footprint fits) x footprint, served at
+///     that level's bandwidth (private levels scale with active cores) —
+///     a capacity-aware roofline, giving tile sizes cache sweet spots;
+///   - compute time: FLOPs over peak, scaled by vector-lane utilization of
+///     the innermost spatial extent and by parallel speedup
+///     p / ceil(p / cores) with a fork/join launch cost;
+///   - loop overhead: per-point branch cost divided by the effective unroll
+///     factor, with an instruction-cache penalty beyond
+///     `icache_unroll_limit` (the unroll sweet spot);
+///   - structural costs: compute-at producers are charged redundant compute
+///     plus per-invocation overhead and an intermediate-slab transfer served
+///     at the cache level the slab fits in; cache-write buffers drop the
+///     accumulator from inner footprints in exchange for flush traffic;
+///     rfactor adds reduction-dimension parallelism plus a merge pass.
+///
+/// The result is a multi-modal, schedule-sensitive landscape with the same
+/// qualitative trade-offs the paper's search algorithms navigate.
+class CostSimulator {
+ public:
+  explicit CostSimulator(HardwareConfig hw);
+
+  const HardwareConfig& hardware() const { return hw_; }
+
+  /// Execution-time estimate in milliseconds (deterministic).
+  double simulate_ms(const Schedule& sched) const;
+
+  /// As above, with per-stage breakdowns appended to `breakdown` (entries
+  /// only for stages that carry cost, i.e. not inlined/fused).
+  double simulate_ms(const Schedule& sched,
+                     std::vector<StageCostBreakdown>* breakdown) const;
+
+ private:
+  HardwareConfig hw_;
+};
+
+}  // namespace harl

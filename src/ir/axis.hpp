@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace harl {
+
+/// Loop axis classification, mirroring TVM's iteration variable kinds.
+///
+/// Spatial axes index the output tensor; reduction axes are summed over.
+/// Sketch generation (Table 2 of the paper) tiles spatial axes into
+/// `kSpatialTileLevels` parts and reduction axes into `kReductionTileLevels`
+/// parts (Ansor's "SSRSRS" structure collapses to these counts for the cost
+/// analysis in this reproduction).
+enum class AxisKind { kSpatial, kReduction };
+
+/// One iteration axis of a tensor operator.
+struct Axis {
+  std::string name;
+  std::int64_t extent = 1;
+  AxisKind kind = AxisKind::kSpatial;
+};
+
+/// Number of tile levels used for spatial axes (Ansor uses 4-level spatial
+/// tiling on CPU; the paper's GEMM example also uses 4 tiling levels).
+inline constexpr int kSpatialTileLevels = 4;
+
+/// Number of tile levels used for reduction axes (Ansor splits reductions
+/// twice).
+inline constexpr int kReductionTileLevels = 2;
+
+inline int tile_levels_for(AxisKind kind) {
+  return kind == AxisKind::kSpatial ? kSpatialTileLevels : kReductionTileLevels;
+}
+
+}  // namespace harl

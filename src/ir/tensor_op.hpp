@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/axis.hpp"
+
+namespace harl {
+
+/// Broad operator families. Used for:
+///  - sketch generation rule dispatch (Table 2),
+///  - "similar task" grouping in the subgraph-selection reward (Eq. 3's
+///    max over M(a), the set of subgraphs with comparable structure).
+enum class OpKind {
+  kGemm,
+  kBatchGemm,
+  kConv1d,
+  kConv2d,
+  kConv3d,
+  kTransposedConv2d,
+  kSoftmax,
+  kElementwise,
+  kReduce,
+  kGeneric,
+};
+
+const char* op_kind_name(OpKind kind);
+
+/// Affine index expression of one tensor dimension in terms of the operator's
+/// iteration axes:  index = sum_i coeff_i * axis_i  (+ implicit kernel span).
+///
+/// The *footprint extent* of the dimension under per-axis tile sizes `t` is
+///   sum_i coeff_i * (t[axis_i] - 1) + 1,
+/// the exact size of the data slab a tile touches for strided/dilated
+/// accesses (e.g. conv input height = stride*(t_oh-1) + dilation*(t_kh-1)+1).
+struct DimExpr {
+  struct Term {
+    int axis = 0;          ///< index into TensorOp::axes
+    std::int64_t coeff = 1;
+  };
+  std::vector<Term> terms;
+
+  /// Footprint extent for the given per-axis tile sizes.
+  std::int64_t footprint(const std::vector<std::int64_t>& tile_sizes) const;
+
+  /// Convenience: a dimension that is exactly one axis.
+  static DimExpr of_axis(int axis, std::int64_t coeff = 1);
+};
+
+/// One input tensor read by an operator, with its access map.
+struct TensorAccess {
+  std::string tensor_name;
+  std::vector<DimExpr> dims;   ///< one entry per tensor dimension
+  int elem_bytes = 4;          ///< fp32 by default
+
+  /// Number of elements touched by a tile with the given per-axis sizes.
+  std::int64_t tile_elems(const std::vector<std::int64_t>& tile_sizes) const;
+  std::int64_t tile_bytes(const std::vector<std::int64_t>& tile_sizes) const;
+};
+
+/// A single tensor computation stage (one output tensor).
+///
+/// The operator is described declaratively: iteration axes, floating point
+/// work per iteration-space point, and the access maps of its inputs.  This
+/// is the complete information the schedule space, the sketch rules and the
+/// analytical hardware model need; no loop AST is materialized.
+struct TensorOp {
+  std::string name;
+  OpKind kind = OpKind::kGeneric;
+  std::vector<Axis> axes;            ///< spatial axes first, then reduction
+  double flops_per_point = 1.0;      ///< e.g. 2.0 for multiply-accumulate
+  std::vector<TensorAccess> inputs;
+  int out_elem_bytes = 4;
+
+  // --- Structure queries -------------------------------------------------
+  int num_axes() const { return static_cast<int>(axes.size()); }
+  int num_spatial_axes() const;
+  int num_reduction_axes() const;
+  bool has_reduction() const { return num_reduction_axes() > 0; }
+
+  /// Pure elementwise map: no reduction and every input dimension is a
+  /// single unit-coefficient axis. Such stages can be inlined (Table 2).
+  bool is_elementwise() const;
+
+  /// "Has data reuse" in the sense of Ansor's tiling rule: some input element
+  /// is read by more than one output point (reduction present, or an input
+  /// does not depend on all spatial axes).
+  bool has_data_reuse() const;
+
+  // --- Size accounting ----------------------------------------------------
+  std::int64_t iter_space_points() const;      ///< product of all extents
+  std::int64_t output_elems() const;           ///< product of spatial extents
+  std::int64_t output_bytes() const;
+  double total_flops() const;
+  std::int64_t input_bytes_once() const;       ///< compulsory input traffic
+
+  /// Per-axis extents as a vector (tile size == full extent).
+  std::vector<std::int64_t> full_tile() const;
+
+  /// Validate internal consistency (axis indices in range, extents positive).
+  /// Returns an empty string when valid, else a diagnostic.
+  std::string validate() const;
+};
+
+}  // namespace harl

@@ -1,0 +1,82 @@
+#include "nn/categorical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace harl {
+
+std::vector<double> masked_softmax(const std::vector<double>& logits,
+                                   const std::vector<bool>* mask) {
+  std::vector<double> probs(logits.size(), 0.0);
+  double max_logit = -1e300;
+  bool any = false;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask != nullptr && !(*mask)[i]) continue;
+    max_logit = std::max(max_logit, logits[i]);
+    any = true;
+  }
+  HARL_CHECK(any, "masked_softmax: no valid action");
+  double z = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    if (mask != nullptr && !(*mask)[i]) continue;
+    probs[i] = std::exp(logits[i] - max_logit);
+    z += probs[i];
+  }
+  for (double& p : probs) p /= z;
+  return probs;
+}
+
+int sample_categorical(const std::vector<double>& probs, Rng& rng) {
+  double r = rng.next_double();
+  double acc = 0;
+  int last_valid = 0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    if (probs[i] <= 0) continue;
+    last_valid = static_cast<int>(i);
+    acc += probs[i];
+    if (r < acc) return static_cast<int>(i);
+  }
+  return last_valid;
+}
+
+int argmax_categorical(const std::vector<double>& probs) {
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+double categorical_log_prob(const std::vector<double>& probs, int action) {
+  return std::log(std::max(probs[static_cast<std::size_t>(action)], 1e-12));
+}
+
+double categorical_entropy(const std::vector<double>& probs) {
+  double h = 0;
+  for (double p : probs) {
+    if (p > 1e-12) h -= p * std::log(p);
+  }
+  return h;
+}
+
+std::vector<double> categorical_backward(const std::vector<double>& probs, int action,
+                                         double coef_logp, double coef_entropy,
+                                         const std::vector<bool>* mask) {
+  std::size_t n = probs.size();
+  std::vector<double> dlogits(n, 0.0);
+  double h = coef_entropy != 0.0 ? categorical_entropy(probs) : 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (mask != nullptr && !(*mask)[k]) continue;
+    double g = 0;
+    if (coef_logp != 0.0) {
+      double onehot = (static_cast<int>(k) == action) ? 1.0 : 0.0;
+      g += coef_logp * (onehot - probs[k]);
+    }
+    if (coef_entropy != 0.0 && probs[k] > 1e-12) {
+      g += coef_entropy * (-probs[k] * (std::log(probs[k]) + h));
+    }
+    dlogits[k] = g;
+  }
+  return dlogits;
+}
+
+}  // namespace harl

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace harl {
+
+/// Categorical distribution utilities for policy heads.
+///
+/// Probabilities come from a numerically stable masked softmax; `mask`
+/// entries set to false force probability 0 (used for illegal tile moves,
+/// e.g. cross-axis factor transfers).  All functions assume at least one
+/// valid action.
+
+/// Stable softmax over logits; invalid entries (mask false) get probability
+/// zero. Pass nullptr for an unmasked softmax.
+std::vector<double> masked_softmax(const std::vector<double>& logits,
+                                   const std::vector<bool>* mask);
+
+/// Sample an index from a probability vector.
+int sample_categorical(const std::vector<double>& probs, Rng& rng);
+
+/// Index of the most probable action (greedy policy).
+int argmax_categorical(const std::vector<double>& probs);
+
+/// log p(action); clamped to avoid -inf on underflow.
+double categorical_log_prob(const std::vector<double>& probs, int action);
+
+/// Shannon entropy -sum p log p.
+double categorical_entropy(const std::vector<double>& probs);
+
+/// Gradient of  coef_logp * log p(action) + coef_entropy * H(p)  with
+/// respect to the *logits*, given the softmax probabilities.
+/// d log p(a) / d logit_k = 1{k==a} - p_k
+/// d H / d logit_k       = -p_k * (log p_k + H)
+/// Masked-out entries receive zero gradient.
+std::vector<double> categorical_backward(const std::vector<double>& probs, int action,
+                                         double coef_logp, double coef_entropy,
+                                         const std::vector<bool>* mask);
+
+}  // namespace harl

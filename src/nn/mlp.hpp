@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace harl {
+
+/// A fully-connected layer with its Adam optimizer state.
+///
+/// Weights are row-major [out x in]. Gradients accumulate across backward
+/// calls until `adam_step` consumes and clears them, so minibatch gradients
+/// are averaged by the caller's scaling of the loss.
+struct LinearLayer {
+  LinearLayer(int in_dim, int out_dim, Rng& rng);
+
+  void forward(const std::vector<double>& x, std::vector<double>* y) const;
+
+  /// Accumulate dL/dW, dL/db given dL/dy and the cached input x; writes
+  /// dL/dx into `dx` when non-null.
+  void backward(const std::vector<double>& x, const std::vector<double>& dy,
+                std::vector<double>* dx);
+
+  void zero_grad();
+  void adam_step(double lr, double beta1, double beta2, double eps, int t);
+
+  int in_dim;
+  int out_dim;
+  std::vector<double> w, b;
+  std::vector<double> gw, gb;
+  std::vector<double> mw, vw, mb, vb;  // Adam moments
+};
+
+/// Multi-layer perceptron with tanh hidden activations and a linear output
+/// layer, trained by explicit backprop + Adam.  Small by design: the paper's
+/// PPO actor/critic networks are two-hidden-layer MLPs over schedule
+/// observations.
+class Mlp {
+ public:
+  /// dims = {input, hidden..., output}.
+  Mlp(const std::vector<int>& dims, Rng& rng);
+
+  int in_dim() const { return layers_.front().in_dim; }
+  int out_dim() const { return layers_.back().out_dim; }
+
+  /// Activations of every layer for one sample; index 0 is the input copy,
+  /// back() is the network output.  Needed for backward.
+  struct Trace {
+    std::vector<std::vector<double>> acts;
+  };
+
+  /// Forward one sample; fills `trace` when non-null.
+  std::vector<double> forward(const std::vector<double>& x, Trace* trace = nullptr) const;
+
+  /// Backprop dL/dout through the trace, accumulating parameter gradients.
+  void backward(const Trace& trace, const std::vector<double>& dout);
+
+  void zero_grad();
+
+  /// One Adam update over all layers (increments the internal step counter).
+  void adam_step(double lr);
+
+  /// Global L2 norm of accumulated gradients (for diagnostics/tests).
+  double grad_norm() const;
+
+  std::size_t num_parameters() const;
+
+  /// White-box access for gradient-checking tests.
+  std::vector<LinearLayer>& layers() { return layers_; }
+  const std::vector<LinearLayer>& layers() const { return layers_; }
+
+ private:
+  std::vector<LinearLayer> layers_;
+  int adam_t_ = 0;
+};
+
+}  // namespace harl

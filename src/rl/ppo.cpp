@@ -1,0 +1,164 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/categorical.hpp"
+#include "util/logging.hpp"
+
+namespace harl {
+
+namespace {
+
+std::vector<int> mlp_dims(int in, int hidden, int out) { return {in, hidden, hidden, out}; }
+
+}  // namespace
+
+PpoAgent::PpoAgent(int obs_dim, std::vector<int> head_sizes, PpoConfig cfg,
+                   std::uint64_t seed)
+    : cfg_(cfg),
+      obs_dim_(obs_dim),
+      head_sizes_(std::move(head_sizes)),
+      actor_([&] {
+        Rng rng(seed);
+        int total = 0;
+        for (int h : head_sizes_) total += h;
+        return Mlp(mlp_dims(obs_dim, cfg.hidden_dim, total), rng);
+      }()),
+      critic_([&] {
+        Rng rng(seed ^ 0x5bd1e995ULL);
+        return Mlp(mlp_dims(obs_dim, cfg.hidden_dim, 1), rng);
+      }()) {
+  HARL_CHECK(!head_sizes_.empty(), "PpoAgent needs at least one action head");
+}
+
+std::vector<std::vector<double>> PpoAgent::split_heads(
+    const std::vector<double>& logits) const {
+  std::vector<std::vector<double>> heads;
+  heads.reserve(head_sizes_.size());
+  std::size_t off = 0;
+  for (int h : head_sizes_) {
+    heads.emplace_back(logits.begin() + static_cast<std::ptrdiff_t>(off),
+                       logits.begin() + static_cast<std::ptrdiff_t>(off + h));
+    off += static_cast<std::size_t>(h);
+  }
+  return heads;
+}
+
+PpoAgent::ActResult PpoAgent::act(const std::vector<double>& obs,
+                                  const std::vector<bool>& head0_mask,
+                                  Rng& rng) const {
+  ActResult res;
+  std::vector<double> logits = actor_.forward(obs);
+  std::vector<std::vector<double>> heads = split_heads(logits);
+  for (std::size_t h = 0; h < heads.size(); ++h) {
+    const std::vector<bool>* mask =
+        (h == 0 && !head0_mask.empty()) ? &head0_mask : nullptr;
+    std::vector<double> probs = masked_softmax(heads[h], mask);
+    int a = sample_categorical(probs, rng);
+    res.actions.push_back(a);
+    res.logp += categorical_log_prob(probs, a);
+  }
+  res.value = critic_.forward(obs)[0];
+  return res;
+}
+
+double PpoAgent::value(const std::vector<double>& obs) const {
+  return critic_.forward(obs)[0];
+}
+
+void PpoAgent::store(PpoTransition t) {
+  if (buffer_.size() < static_cast<std::size_t>(cfg_.buffer_capacity)) {
+    buffer_.push_back(std::move(t));
+  } else {
+    buffer_[buffer_next_ % buffer_.size()] = std::move(t);
+  }
+  ++buffer_next_;
+}
+
+double PpoAgent::train(Rng& rng) {
+  if (buffer_.size() < static_cast<std::size_t>(cfg_.minibatch_size)) return 0;
+  double mean_objective = 0;
+  int num_updates = 0;
+
+  for (int epoch = 0; epoch < cfg_.update_epochs; ++epoch) {
+    // Sample one minibatch (with replacement across epochs).
+    std::vector<std::size_t> batch(static_cast<std::size_t>(cfg_.minibatch_size));
+    for (std::size_t& i : batch) i = rng.pick_index(buffer_.size());
+
+    // Advantages from collection-time values, normalized per batch (Eq. 6).
+    std::vector<double> adv(batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const PpoTransition& t = buffer_[batch[k]];
+      adv[k] = advantage(t.reward, t.value, t.next_value);
+    }
+    double mean = std::accumulate(adv.begin(), adv.end(), 0.0) /
+                  static_cast<double>(adv.size());
+    double var = 0;
+    for (double a : adv) var += (a - mean) * (a - mean);
+    double stdev = std::sqrt(var / static_cast<double>(adv.size())) + 1e-8;
+    for (double& a : adv) a = (a - mean) / stdev;
+
+    actor_.zero_grad();
+    critic_.zero_grad();
+    double inv_n = 1.0 / static_cast<double>(batch.size());
+
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      const PpoTransition& t = buffer_[batch[k]];
+      Mlp::Trace atrace;
+      std::vector<double> logits = actor_.forward(t.obs, &atrace);
+      std::vector<std::vector<double>> heads = split_heads(logits);
+
+      double logp_new = 0;
+      std::vector<std::vector<double>> head_probs(heads.size());
+      for (std::size_t h = 0; h < heads.size(); ++h) {
+        const std::vector<bool>* mask =
+            (h == 0 && !t.head0_mask.empty()) ? &t.head0_mask : nullptr;
+        head_probs[h] = masked_softmax(heads[h], mask);
+        logp_new += categorical_log_prob(head_probs[h],
+                                         t.actions[h]);
+      }
+
+      double ratio = std::exp(std::clamp(logp_new - t.logp, -20.0, 20.0));
+      double unclipped = ratio * adv[k];
+      double clipped =
+          std::clamp(ratio, 1.0 - cfg_.clip_eps, 1.0 + cfg_.clip_eps) * adv[k];
+      mean_objective += std::min(unclipped, clipped);
+      // Gradient flows through logp only when the unclipped branch is active.
+      bool pass_gradient = (adv[k] >= 0 && ratio < 1.0 + cfg_.clip_eps) ||
+                           (adv[k] < 0 && ratio > 1.0 - cfg_.clip_eps);
+      double dlogp = pass_gradient ? -adv[k] * ratio : 0.0;  // d(-objective)/dlogp
+
+      std::vector<double> dlogits_full;
+      dlogits_full.reserve(logits.size());
+      for (std::size_t h = 0; h < heads.size(); ++h) {
+        const std::vector<bool>* mask =
+            (h == 0 && !t.head0_mask.empty()) ? &t.head0_mask : nullptr;
+        // Loss = -objective - w_ent * H  =>  dLoss/dlogits via helper with
+        // coef_logp = dlogp and coef_entropy = -(-w_ent) handled by sign:
+        std::vector<double> dl = categorical_backward(
+            head_probs[h], t.actions[h], dlogp, -cfg_.entropy_weight, mask);
+        // categorical_backward returns d(coef_logp*logp + coef_ent*H); since
+        // we folded the loss signs into the coefficients, accumulate as-is.
+        dlogits_full.insert(dlogits_full.end(), dl.begin(), dl.end());
+      }
+      for (double& d : dlogits_full) d *= inv_n;
+      actor_.backward(atrace, dlogits_full);
+
+      // Critic: w_MSE * (V(s) - (r + gamma * V(s')))^2.
+      Mlp::Trace ctrace;
+      double v = critic_.forward(t.obs, &ctrace)[0];
+      double target = t.reward + cfg_.gamma * t.next_value;
+      std::vector<double> dv = {cfg_.value_loss_weight * 2.0 * (v - target) * inv_n};
+      critic_.backward(ctrace, dv);
+    }
+
+    actor_.adam_step(cfg_.lr_actor);
+    critic_.adam_step(cfg_.lr_critic);
+    num_updates += cfg_.minibatch_size;
+  }
+  return num_updates > 0 ? mean_objective / num_updates : 0.0;
+}
+
+}  // namespace harl

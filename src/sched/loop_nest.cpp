@@ -1,0 +1,170 @@
+#include "sched/loop_nest.hpp"
+
+#include <sstream>
+
+namespace harl {
+
+namespace {
+
+struct Renderer {
+  std::ostringstream out;
+  int indent = 0;
+
+  void line(const std::string& s) {
+    for (int i = 0; i < indent; ++i) out << "  ";
+    out << s << '\n';
+  }
+};
+
+/// Loop positions of one stage in Ansor's S0 S1 R0 S2 R1 S3 order, with the
+/// concrete per-axis factors at each level.
+struct LevelLoop {
+  char kind;   // 'S' or 'R'
+  int level;
+  std::vector<std::pair<std::string, std::int64_t>> loops;  // (name, extent)
+};
+
+std::vector<LevelLoop> stage_levels(const TensorOp& op, const StageSchedule& ss) {
+  int ls = 0, lr = 0;
+  for (std::size_t a = 0; a < op.axes.size(); ++a) {
+    int lv = ss.tiles[a].levels();
+    if (op.axes[a].kind == AxisKind::kSpatial) ls = std::max(ls, lv);
+    else lr = std::max(lr, lv);
+  }
+  std::vector<std::pair<char, int>> order;
+  if (ls > 0) order.push_back({'S', 0});
+  if (ls > 1) order.push_back({'S', 1});
+  int next_s = 2;
+  for (int r = 0; r < lr; ++r) {
+    order.push_back({'R', r});
+    if (next_s < ls) order.push_back({'S', next_s++});
+  }
+  while (next_s < ls) order.push_back({'S', next_s++});
+
+  std::vector<LevelLoop> levels;
+  for (auto [kind, level] : order) {
+    LevelLoop ll{kind, level, {}};
+    AxisKind want = kind == 'S' ? AxisKind::kSpatial : AxisKind::kReduction;
+    for (std::size_t a = 0; a < op.axes.size(); ++a) {
+      if (op.axes[a].kind != want || level >= ss.tiles[a].levels()) continue;
+      std::int64_t f = ss.tiles[a].factors[static_cast<std::size_t>(level)];
+      if (f > 1) {
+        ll.loops.emplace_back(op.axes[a].name + std::to_string(level), f);
+      }
+    }
+    if (!ll.loops.empty()) levels.push_back(std::move(ll));
+  }
+  return levels;
+}
+
+void render_stage(Renderer& r, const Subgraph& g, const Sketch& sk,
+                  const Schedule& sched, int s,
+                  const std::vector<int>& unroll_depths);
+
+/// Emit one stage's loop nest. `fused_consumer` >= 0 injects that stage's
+/// body at the level selected by its compute-at knob.
+void render_tiled_body(Renderer& r, const Subgraph& g, const Sketch& sk,
+                       const Schedule& sched, int s,
+                       const std::vector<int>& unroll_depths) {
+  const TensorOp& op = g.stage(s).op;
+  const StagePlan& plan = sk.plan(s);
+  const StageSchedule& ss = sched.stage(s);
+  std::vector<LevelLoop> levels = stage_levels(op, ss);
+
+  int fused_consumer = -1;
+  for (int c : g.consumers(s)) {
+    if (sk.plan(c).structure == StageStructure::kFusedConsumer) fused_consumer = c;
+  }
+  int fuse_at = fused_consumer >= 0 ? sched.stage(fused_consumer).compute_at : -1;
+  int cw_at = plan.cache_write ? ss.compute_at : -1;
+
+  int unroll = unroll_depths.empty()
+                   ? 0
+                   : unroll_depths[static_cast<std::size_t>(std::min<int>(
+                         ss.unroll_index,
+                         static_cast<int>(unroll_depths.size()) - 1))];
+
+  int spatial_seen = 0;
+  int opened = 0;
+  for (std::size_t li = 0; li < levels.size(); ++li) {
+    const LevelLoop& ll = levels[li];
+    bool innermost_level = li + 1 == levels.size();
+    for (std::size_t k = 0; k < ll.loops.size(); ++k) {
+      std::string anno;
+      if (li == 0 && ss.parallel_depth > 0 &&
+          static_cast<int>(k) < ss.parallel_depth) {
+        anno = "parallel ";
+      }
+      if (plan.rfactor && ll.kind == 'R' && ll.level == 0) {
+        anno += "rfactor-parallel ";
+      }
+      bool vector_loop = innermost_level && ll.kind == 'S' && k + 1 == ll.loops.size();
+      if (vector_loop) anno += "vectorize ";
+      if (unroll > 0 && innermost_level && !vector_loop) anno += "unroll ";
+      r.line(anno + "for " + ll.loops[k].first + " in 0.." +
+             std::to_string(ll.loops[k].second) + ":");
+      ++r.indent;
+      ++opened;
+    }
+    if (ll.kind == 'S') {
+      ++spatial_seen;
+      if (cw_at == spatial_seen) {
+        r.line(op.name + "_local = alloc_cache_write_buffer()");
+      }
+    }
+  }
+  std::string target = plan.cache_write ? op.name + "_local" : op.name;
+  r.line(target + "[...] += compute(" + std::to_string(op.num_reduction_axes()) +
+         " reduction axes, " + std::to_string(op.iter_space_points()) + " points)");
+  if (fused_consumer >= 0 && fuse_at >= kComputeAtCandidates - 1) {
+    r.line(g.stage(fused_consumer).op.name + "[...] = epilogue(" + target + ")");
+  }
+  while (opened > 0) {
+    --r.indent;
+    --opened;
+    // Render coarse-grained epilogues on the way out, at the knob's level.
+    if (fused_consumer >= 0 && opened == fuse_at && fuse_at < kComputeAtCandidates - 1) {
+      r.line(g.stage(fused_consumer).op.name + "[...] = epilogue(" + target + ")");
+      fused_consumer = -1;
+    }
+  }
+  if (plan.cache_write) r.line(op.name + "[...] = flush(" + target + ")");
+  if (plan.rfactor) r.line(op.name + "[...] = merge_rfactor_partials()");
+}
+
+void render_stage(Renderer& r, const Subgraph& g, const Sketch& sk,
+                  const Schedule& sched, int s,
+                  const std::vector<int>& unroll_depths) {
+  const StagePlan& plan = sk.plan(s);
+  const TensorOp& op = g.stage(s).op;
+  switch (plan.structure) {
+    case StageStructure::kInlined:
+      r.line("# " + op.name + ": inlined into consumer");
+      return;
+    case StageStructure::kFusedConsumer:
+      return;  // rendered inside its producer
+    case StageStructure::kSimple:
+    case StageStructure::kTiled:
+      r.line("# stage " + op.name + " (" + stage_structure_name(plan.structure) +
+             (plan.cache_write ? ", cache-write" : "") +
+             (plan.rfactor ? ", rfactor" : "") + ")");
+      render_tiled_body(r, g, sk, sched, s, unroll_depths);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string render_loop_nest(const Schedule& sched,
+                             const std::vector<int>& unroll_depths) {
+  const Sketch& sk = *sched.sketch;
+  const Subgraph& g = *sk.graph;
+  Renderer r;
+  r.line("// " + g.name() + ", sketch " + sk.tag);
+  for (int s = 0; s < g.num_stages(); ++s) {
+    render_stage(r, g, sk, sched, s, unroll_depths);
+  }
+  return r.out.str();
+}
+
+}  // namespace harl

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace harl {
+
+/// Render a schedule as the pseudo-code loop nest it denotes — the program a
+/// TVM-style backend would emit for it.  Shows the Ansor-style S0 S1 R0 S2 R1
+/// S3 level ordering, `parallel`/`vectorize`/`unroll` annotations, cache-write
+/// buffers, rfactor partial-reduction structure, compute-at placement of
+/// producer stages and fused consumers.
+///
+/// Intended for logging, examples and debugging — the analytical simulator
+/// consumes the schedule directly, not this text.
+///
+/// Example (GEMM 64x64x64, sketch T+CW):
+///
+///   parallel for i0 in 0..4:           # fused x j0 (2 loops parallel)
+///     for j0 in 0..2: ...
+///       C_local = alloc(...)           # cache write
+///       for k0 in 0..8:
+///         ...
+///           vectorize for j3 in 0..16
+std::string render_loop_nest(const Schedule& sched,
+                             const std::vector<int>& unroll_depths);
+
+}  // namespace harl

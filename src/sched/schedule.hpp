@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/sketch.hpp"
+#include "sched/tiling.hpp"
+#include "util/rng.hpp"
+
+namespace harl {
+
+/// Number of compute-at candidate positions: one per spatial tile-level
+/// boundary of the consumer nest (0 = root/outermost, deeper = smaller live
+/// buffer, more frequent flushes).
+inline constexpr int kComputeAtCandidates = kSpatialTileLevels + 1;
+
+/// Low-level parameters of one stage under a given sketch.
+///
+/// Which fields are meaningful depends on the stage's StagePlan:
+///   - kTiled: tiles (spatial axes: kSpatialTileLevels levels, reduction
+///     axes: kReductionTileLevels), parallel_depth, unroll_index, and
+///     compute_at when the plan exposes the knob.
+///   - kSimple: tiles with 2 levels per spatial axis (parallel chunking),
+///     parallel_depth, unroll_index.
+///   - kFusedConsumer: compute_at (fusion level) only.
+///   - kInlined: nothing.
+struct StageSchedule {
+  std::vector<TileVector> tiles;  ///< one per op axis (may be empty, see above)
+  int compute_at = 0;             ///< in [0, kComputeAtCandidates)
+  int parallel_depth = 1;         ///< fused outer spatial loops run in parallel
+  int unroll_index = 0;           ///< index into the hardware's unroll-depth list
+};
+
+/// A complete, measurable tensor program configuration: a sketch plus all
+/// low-level parameters.  This is the RL state s_t of the paper's MDP.
+struct Schedule {
+  const Sketch* sketch = nullptr;
+  std::vector<StageSchedule> stages;
+
+  const Subgraph& graph() const { return *sketch->graph; }
+  const StageSchedule& stage(int i) const {
+    return stages.at(static_cast<std::size_t>(i));
+  }
+  StageSchedule& stage(int i) { return stages.at(static_cast<std::size_t>(i)); }
+
+  /// Structural hash for deduplication in the top-K selection heap.
+  std::uint64_t fingerprint() const;
+
+  std::string to_string() const;
+};
+
+/// Tile-level count for an axis of a stage with the given structure.
+int levels_for_axis(StageStructure structure, AxisKind kind);
+
+/// Sample a uniformly random valid schedule of a sketch (the initial states
+/// of Algorithm 1 line 5 / the gray parallelograms of Figure 3).
+Schedule random_schedule(const Sketch& sketch, int num_unroll_options, Rng& rng);
+
+/// Empty string when the schedule is valid for its sketch: tile products
+/// match extents, level counts match the structure, knob values in range.
+std::string validate_schedule(const Schedule& sched, int num_unroll_options);
+
+}  // namespace harl

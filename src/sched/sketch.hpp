@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/subgraph.hpp"
+
+namespace harl {
+
+/// Structural role a sketch assigns to a stage (Table 2 of the paper; rule
+/// names in comments).
+enum class StageStructure {
+  kSimple,      ///< plain loop nest, no multi-level tiling ("Skip")
+  kInlined,     ///< computed inside its consumer's innermost loop ("Inline")
+  kTiled,       ///< multi-level tiled ("Tiling")
+  kFusedConsumer,  ///< elementwise consumer executed inside the tiled
+                   ///< producer's outer tiles ("Tiling with Fusion")
+};
+
+const char* stage_structure_name(StageStructure s);
+
+/// Per-stage structural decisions made by sketch generation.
+struct StagePlan {
+  StageStructure structure = StageStructure::kSimple;
+  bool cache_write = false;  ///< "Cache Write": local accumulation buffer
+  bool rfactor = false;      ///< "rfactor": parallelized reduction + final merge
+  bool has_compute_at_knob = false;  ///< schedule exposes a compute-at position
+};
+
+/// A sketch: the high-level structure of a tensor program for one subgraph,
+/// before any low-level parameters (tile sizes, compute-at position,
+/// parallelism, unroll) are chosen.  Generated once per subgraph by
+/// `generate_sketches` with the same rule set as Ansor (Table 2).
+struct Sketch {
+  const Subgraph* graph = nullptr;
+  int sketch_id = 0;
+  std::vector<StagePlan> plans;  ///< one per stage
+  std::string tag;               ///< compact id, e.g. "T", "T+CW", "T+RF"
+
+  /// Stage whose compute-at knob the RL agent's compute-at head controls
+  /// (-1 when no stage exposes the knob).
+  int primary_compute_at_stage = -1;
+
+  const StagePlan& plan(int stage) const {
+    return plans.at(static_cast<std::size_t>(stage));
+  }
+};
+
+/// Generate all sketches for a subgraph by applying the derivation rules of
+/// Table 2:
+///   - Skip / Inline: strictly elementwise non-output stages are inlined.
+///   - Tiling: stages with data reuse get multi-level tiling.
+///   - Tiling with Fusion: an elementwise output consumer of a tiled stage is
+///     fused into the tiled stage's outer loops.
+///   - Cache Write: variant with a local write buffer for tiled reduction
+///     stages (exposes a compute-at knob).
+///   - rfactor: variant parallelizing the reduction when the reduction
+///     dominates the spatial extent.
+/// A plain GEMM yields 3 sketches (tiled / +cache-write / +rfactor), matching
+/// the count quoted in Section 4.1 of the paper.
+std::vector<Sketch> generate_sketches(const Subgraph& graph);
+
+}  // namespace harl

@@ -1,0 +1,46 @@
+#include "search/adaptive_stopping.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace harl {
+
+std::vector<int> select_eliminations(const std::vector<double>& advantages,
+                                     double rho, int min_tracks) {
+  int n = static_cast<int>(advantages.size());
+  int want = static_cast<int>(rho * n);
+  int allowed = n - min_tracks;
+  int k = std::min(want, allowed);
+  if (k <= 0) return {};
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return advantages[static_cast<std::size_t>(a)] <
+           advantages[static_cast<std::size_t>(b)];
+  });
+  order.resize(static_cast<std::size_t>(k));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+long adaptive_visit_budget(const AdaptiveStopConfig& cfg) {
+  long visits = 0;
+  int alive = cfg.initial_tracks;
+  for (;;) {
+    visits += static_cast<long>(alive) * cfg.window;
+    if (alive <= cfg.min_tracks) break;
+    int killed = std::min(static_cast<int>(cfg.elimination * alive),
+                          alive - cfg.min_tracks);
+    if (killed <= 0) break;
+    alive -= killed;
+  }
+  return visits;
+}
+
+int fixed_length_for_budget(const AdaptiveStopConfig& cfg) {
+  long budget = adaptive_visit_budget(cfg);
+  int tracks = std::max(1, cfg.initial_tracks);
+  return static_cast<int>((budget + tracks - 1) / tracks);
+}
+
+}  // namespace harl

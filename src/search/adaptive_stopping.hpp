@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+namespace harl {
+
+/// Configuration of the adaptive-stopping search of Section 5 (defaults are
+/// Table 5 / Section 6.2 values).
+struct AdaptiveStopConfig {
+  int window = 20;          ///< lambda: steps between elimination rounds
+  double elimination = 0.5; ///< rho: fraction of tracks dropped per round
+  int min_tracks = 64;      ///< p-hat: minimum surviving tracks
+  int initial_tracks = 256; ///< I: schedule tracks sampled per episode
+  bool enabled = true;      ///< false = fixed-length episodes with the same
+                            ///< total visit budget (the "Hierarchical-RL"
+                            ///< ablation of Figure 7a)
+};
+
+/// Indices of the tracks to eliminate at a window boundary: the
+/// floor(rho * n) lowest-advantage tracks, capped so at least `min_tracks`
+/// survive.  Ties break toward lower indices.  Returns an empty vector when
+/// nothing should be eliminated.
+std::vector<int> select_eliminations(const std::vector<double>& advantages,
+                                     double rho, int min_tracks);
+
+/// Total number of schedule visits one adaptive episode performs:
+/// sum of alive-track-count x lambda over elimination rounds, until the
+/// alive count reaches `min_tracks`.  The fixed-length ablation runs
+/// ceil(budget / initial_tracks) steps per track so both variants inspect
+/// the same number of candidates (Figure 4's accounting).
+long adaptive_visit_budget(const AdaptiveStopConfig& cfg);
+
+/// Episode length of the budget-matched fixed-length variant.
+int fixed_length_for_budget(const AdaptiveStopConfig& cfg);
+
+}  // namespace harl

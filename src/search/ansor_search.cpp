@@ -1,0 +1,121 @@
+#include "search/ansor_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harl {
+
+AnsorSearchPolicy::AnsorSearchPolicy(TaskState* task, AnsorConfig cfg)
+    : task_(task), cfg_(cfg), fx_(&task->hardware()), rng_(cfg.seed ^ 0x414e53ULL) {}
+
+std::vector<MeasuredRecord> AnsorSearchPolicy::tune_round(Measurer& measurer,
+                                                          int num_measures) {
+  XgbCostModel& cost = task_->cost_model();
+
+  struct Individual {
+    Schedule sched;
+    double score = 0;
+  };
+
+  // --- Initial population ---------------------------------------------------
+  // Uniform sketch choice for fresh candidates; the rest are mutations of the
+  // best measured schedules (Ansor seeds evolution from its history).
+  std::vector<Individual> pop;
+  pop.reserve(static_cast<std::size_t>(cfg_.population));
+  const std::vector<MeasuredRecord>& seeds = task_->best_pool();
+  int num_random = seeds.empty()
+                       ? cfg_.population
+                       : static_cast<int>(cfg_.init_random_frac * cfg_.population);
+  for (int i = 0; i < cfg_.population; ++i) {
+    Individual ind;
+    if (i < num_random) {
+      int u = rng_.next_int(0, task_->num_sketches() - 1);
+      ind.sched = random_schedule(task_->sketch(u),
+                                  task_->space(u).num_unroll_options(), rng_);
+    } else {
+      ind.sched = seeds[rng_.pick_index(seeds.size())].sched;
+      const ActionSpace& space = task_->space(ind.sched.sketch->sketch_id);
+      space.mutate(&ind.sched, rng_);
+    }
+    pop.push_back(std::move(ind));
+  }
+
+  std::vector<ScoredCandidate> visited;
+  auto score_population = [&]() {
+    std::vector<Schedule> scheds;
+    scheds.reserve(pop.size());
+    for (const Individual& ind : pop) scheds.push_back(ind.sched);
+    std::vector<double> scores = cost.predict_batch(scheds);
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      pop[i].score = scores[i];
+      visited.push_back({pop[i].sched, scores[i]});
+    }
+  };
+  score_population();
+
+  // --- Evolution --------------------------------------------------------
+  for (int gen = 0; gen < cfg_.generations; ++gen) {
+    // Fitness-proportional parent weights (softmax over scores).
+    double max_score = -1e300;
+    for (const Individual& ind : pop) max_score = std::max(max_score, ind.score);
+    std::vector<double> weights(pop.size());
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      weights[i] = std::exp((pop[i].score - max_score) * 4.0);
+    }
+
+    std::vector<Individual> next;
+    next.reserve(pop.size());
+    // Elites survive unchanged.
+    std::vector<std::size_t> order(pop.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return pop[a].score > pop[b].score;
+    });
+    std::size_t elites =
+        std::max<std::size_t>(1, static_cast<std::size_t>(cfg_.elite_frac * pop.size()));
+    for (std::size_t e = 0; e < elites; ++e) next.push_back(pop[order[e]]);
+
+    // Fresh random candidates every generation keep diversity up (Ansor's
+    // periodic re-sampling of the init population).
+    std::size_t fresh = static_cast<std::size_t>(cfg_.gen_random_frac * pop.size());
+    for (std::size_t f = 0; f < fresh && next.size() < pop.size(); ++f) {
+      Individual ind;
+      int u = rng_.next_int(0, task_->num_sketches() - 1);
+      ind.sched = random_schedule(task_->sketch(u),
+                                  task_->space(u).num_unroll_options(), rng_);
+      next.push_back(std::move(ind));
+    }
+
+    while (next.size() < pop.size()) {
+      std::size_t pi = rng_.pick_weighted(weights);
+      Individual child = pop[pi];
+      const ActionSpace& space = task_->space(child.sched.sketch->sketch_id);
+      if (rng_.next_bool(cfg_.mutation_prob)) {
+        // Geometric number of knob moves: bigger jumps escape local modes.
+        int moves = 1;
+        while (moves < cfg_.max_mutations && rng_.next_bool(cfg_.multi_mutation_p)) {
+          ++moves;
+        }
+        for (int m = 0; m < moves; ++m) space.mutate(&child.sched, rng_);
+      } else {
+        // Crossover requires a mate on the same sketch.
+        std::size_t mate = rng_.pick_weighted(weights);
+        if (pop[mate].sched.sketch->sketch_id == child.sched.sketch->sketch_id) {
+          child.sched = space.crossover(child.sched, pop[mate].sched, rng_);
+        } else {
+          space.mutate(&child.sched, rng_);
+        }
+      }
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    score_population();
+  }
+
+  // --- Epsilon-greedy top-K measurement -----------------------------------
+  std::vector<Schedule> to_measure = select_top_k(
+      *task_, std::move(visited), num_measures, cfg_.measure_epsilon, rng_);
+  return measure_and_commit(*task_, measurer, to_measure);
+}
+
+}  // namespace harl

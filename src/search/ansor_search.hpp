@@ -1,0 +1,46 @@
+#pragma once
+
+#include "features/feature_extractor.hpp"
+#include "search/search_common.hpp"
+
+namespace harl {
+
+/// Configuration of the Ansor-style evolutionary baseline.
+struct AnsorConfig {
+  int population = 512;         ///< candidates per generation
+  int generations = 4;          ///< evolution rounds per tuning round
+  double init_random_frac = 0.5;///< fresh random fraction of the initial pop
+  double gen_random_frac = 0.1; ///< fresh random injection per generation
+  double mutation_prob = 0.85;  ///< else crossover
+  double multi_mutation_p = 0.5;///< geometric continuation: extra knob moves
+  int max_mutations = 4;        ///< cap on knob moves per child
+  double elite_frac = 0.1;      ///< carried over unchanged per generation
+  double measure_epsilon = 0.05;///< random slots in the top-K measurement set
+  std::uint64_t seed = 2;
+};
+
+/// Reimplementation of the published Ansor search (the paper's baseline):
+///   - sketch selection: time-independent *uniform* distribution,
+///   - schedule selection: evolutionary search — a population seeded from
+///     random schedules plus mutations of the best measured records, evolved
+///     for several generations with cost-model fitness, softmax parent
+///     selection, mutation (the Table 3 knob set) and per-stage crossover,
+///   - measurement: epsilon-greedy top-K by cost-model score,
+///   - task selection (in the scheduler): greedy gradient allocation (Eq. 3).
+class AnsorSearchPolicy : public SearchPolicy {
+ public:
+  AnsorSearchPolicy(TaskState* task, AnsorConfig cfg);
+
+  const char* name() const override { return "Ansor"; }
+
+  std::vector<MeasuredRecord> tune_round(Measurer& measurer,
+                                         int num_measures) override;
+
+ private:
+  TaskState* task_;
+  AnsorConfig cfg_;
+  FeatureExtractor fx_;
+  Rng rng_;
+};
+
+}  // namespace harl

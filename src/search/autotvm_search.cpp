@@ -1,0 +1,53 @@
+#include "search/autotvm_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harl {
+
+AutoTvmSearchPolicy::AutoTvmSearchPolicy(TaskState* task, AutoTvmConfig cfg)
+    : task_(task), cfg_(cfg), rng_(cfg.seed ^ 0x41545643ULL),
+      temperature_(cfg.initial_temp) {}
+
+std::vector<MeasuredRecord> AutoTvmSearchPolicy::tune_round(Measurer& measurer,
+                                                            int num_measures) {
+  const Sketch& sketch = task_->sketch(0);  // the "template"
+  const ActionSpace& space = task_->space(0);
+  XgbCostModel& cost = task_->cost_model();
+
+  if (walkers_.empty()) {
+    walkers_.reserve(static_cast<std::size_t>(cfg_.walkers));
+    for (int i = 0; i < cfg_.walkers; ++i) {
+      walkers_.push_back(random_schedule(sketch, space.num_unroll_options(), rng_));
+    }
+  }
+
+  std::vector<double> scores = cost.predict_batch(walkers_);
+  std::vector<ScoredCandidate> visited;
+  for (std::size_t i = 0; i < walkers_.size(); ++i) {
+    visited.push_back({walkers_[i], scores[i]});
+  }
+
+  for (int step = 0; step < cfg_.steps_per_round; ++step) {
+    std::vector<Schedule> proposals = walkers_;
+    for (Schedule& s : proposals) space.mutate(&s, rng_);
+    std::vector<double> prop_scores = cost.predict_batch(proposals);
+    for (std::size_t i = 0; i < walkers_.size(); ++i) {
+      double delta = prop_scores[i] - scores[i];
+      // Metropolis acceptance on cost-model score.
+      if (delta >= 0 ||
+          rng_.next_double() < std::exp(delta / std::max(temperature_, 1e-6))) {
+        walkers_[i] = proposals[i];
+        scores[i] = prop_scores[i];
+      }
+      visited.push_back({proposals[i], prop_scores[i]});
+    }
+  }
+  temperature_ *= cfg_.cooling;
+
+  std::vector<Schedule> to_measure = select_top_k(
+      *task_, std::move(visited), num_measures, cfg_.measure_epsilon, rng_);
+  return measure_and_commit(*task_, measurer, to_measure);
+}
+
+}  // namespace harl

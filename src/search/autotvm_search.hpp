@@ -1,0 +1,37 @@
+#pragma once
+
+#include "search/search_common.hpp"
+
+namespace harl {
+
+/// Configuration of the AutoTVM-style simulated-annealing baseline.
+struct AutoTvmConfig {
+  int walkers = 64;            ///< parallel annealing chains
+  int steps_per_round = 32;    ///< proposals per walker per tuning round
+  double initial_temp = 0.1;   ///< in cost-model score units
+  double cooling = 0.9;        ///< geometric temperature decay per round
+  double measure_epsilon = 0.05;
+  std::uint64_t seed = 4;
+};
+
+/// Reimplementation of the AutoTVM baseline: template-bound (first sketch
+/// only, standing in for the user-provided template) simulated annealing over
+/// the knob space, guided by the learned cost model, with top-K measurement.
+class AutoTvmSearchPolicy : public SearchPolicy {
+ public:
+  AutoTvmSearchPolicy(TaskState* task, AutoTvmConfig cfg);
+
+  const char* name() const override { return "AutoTVM-SA"; }
+
+  std::vector<MeasuredRecord> tune_round(Measurer& measurer,
+                                         int num_measures) override;
+
+ private:
+  TaskState* task_;
+  AutoTvmConfig cfg_;
+  Rng rng_;
+  double temperature_;
+  std::vector<Schedule> walkers_;
+};
+
+}  // namespace harl

@@ -1,0 +1,79 @@
+#include "search/flextensor_search.hpp"
+
+#include <algorithm>
+
+namespace harl {
+
+FlextensorSearchPolicy::FlextensorSearchPolicy(TaskState* task, FlextensorConfig cfg)
+    : task_(task), cfg_(cfg), fx_(&task->hardware()), rng_(cfg.seed ^ 0x464c58ULL) {}
+
+std::vector<MeasuredRecord> FlextensorSearchPolicy::tune_round(Measurer& measurer,
+                                                               int /*num_measures*/) {
+  const Sketch& sketch = task_->sketch(0);  // fixed template
+  const ActionSpace& space = task_->space(0);
+
+  if (!agent_) {
+    Rng probe(cfg_.seed ^ 0x77ULL);
+    Schedule sample = random_schedule(sketch, space.num_unroll_options(), probe);
+    int obs_dim = static_cast<int>(rl_observation(fx_, space, sample).size());
+    auto sizes = space.head_sizes();
+    agent_ = std::make_unique<PpoAgent>(
+        obs_dim, std::vector<int>(sizes.begin(), sizes.end()), cfg_.ppo, cfg_.seed);
+  }
+
+  std::vector<MeasuredRecord> all_records;
+  for (int track = 0; track < cfg_.tracks; ++track) {
+    Schedule cur = random_schedule(sketch, space.num_unroll_options(), rng_);
+    std::vector<double> obs = rl_observation(fx_, space, cur);
+    double cur_time = measurer.measure_ms(cur);
+    std::int64_t trial0 = measurer.trials_used() - 1;
+    all_records.push_back({cur, cur_time, trial0});
+
+    double best_time = cur_time;
+    int best_step = 0;
+    for (int step = 1; step <= cfg_.track_length; ++step) {
+      std::vector<bool> mask;
+      space.tile_action_mask(cur, &mask);
+      PpoAgent::ActResult act = agent_->act(obs, mask, rng_);
+      Schedule next = cur;
+      JointAction ja{};
+      for (int h = 0; h < kNumActionHeads; ++h) {
+        ja[static_cast<std::size_t>(h)] = act.actions[static_cast<std::size_t>(h)];
+      }
+      space.apply(&next, ja);
+      double next_time = measurer.measure_ms(next);
+      all_records.push_back({next, next_time, measurer.trials_used() - 1});
+
+      std::vector<double> next_obs = rl_observation(fx_, space, next);
+      // Reward: measured relative speedup (Flextensor learns from hardware).
+      double reward = (cur_time - next_time) / std::max(next_time, 1e-9);
+      double next_value = agent_->value(next_obs);
+
+      PpoTransition tr;
+      tr.obs = std::move(obs);
+      tr.actions = act.actions;
+      tr.logp = act.logp;
+      tr.reward = reward;
+      tr.value = act.value;
+      tr.next_value = next_value;
+      tr.head0_mask = std::move(mask);
+      agent_->store(std::move(tr));
+      if (step % cfg_.ppo.train_interval == 0) agent_->train(rng_);
+
+      cur = std::move(next);
+      obs = std::move(next_obs);
+      cur_time = next_time;
+      if (next_time < best_time) {
+        best_time = next_time;
+        best_step = step;
+      }
+    }
+    critical_positions_.push_back(static_cast<double>(best_step) /
+                                  static_cast<double>(cfg_.track_length));
+  }
+
+  task_->commit_measurements(all_records);
+  return all_records;
+}
+
+}  // namespace harl

@@ -1,0 +1,24 @@
+#include "search/random_search.hpp"
+
+namespace harl {
+
+RandomSearchPolicy::RandomSearchPolicy(TaskState* task, std::uint64_t seed)
+    : task_(task), rng_(seed ^ 0x52414e44ULL) {}
+
+std::vector<MeasuredRecord> RandomSearchPolicy::tune_round(Measurer& measurer,
+                                                           int num_measures) {
+  std::vector<Schedule> scheds;
+  scheds.reserve(static_cast<std::size_t>(num_measures));
+  int attempts = 0;
+  while (static_cast<int>(scheds.size()) < num_measures &&
+         attempts < num_measures * 16) {
+    ++attempts;
+    int u = rng_.next_int(0, task_->num_sketches() - 1);
+    Schedule s = random_schedule(task_->sketch(u),
+                                 task_->space(u).num_unroll_options(), rng_);
+    if (!task_->already_measured(s)) scheds.push_back(std::move(s));
+  }
+  return measure_and_commit(*task_, measurer, scheds);
+}
+
+}  // namespace harl

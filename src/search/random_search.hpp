@@ -1,0 +1,24 @@
+#pragma once
+
+#include "search/search_common.hpp"
+
+namespace harl {
+
+/// Uniform random search: the weakest baseline and the measurement floor for
+/// sanity tests.  Each round samples `num_measures` fresh random schedules
+/// (uniform over sketches and parameters) and measures them all.
+class RandomSearchPolicy : public SearchPolicy {
+ public:
+  RandomSearchPolicy(TaskState* task, std::uint64_t seed);
+
+  const char* name() const override { return "Random"; }
+
+  std::vector<MeasuredRecord> tune_round(Measurer& measurer,
+                                         int num_measures) override;
+
+ private:
+  TaskState* task_;
+  Rng rng_;
+};
+
+}  // namespace harl

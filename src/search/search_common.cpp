@@ -1,0 +1,92 @@
+#include "search/search_common.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace harl {
+
+TaskState::TaskState(const Subgraph* graph, const HardwareConfig* hw)
+    : graph_(graph), hw_(hw), cost_model_(hw) {
+  sketches_ = generate_sketches(*graph);
+  HARL_CHECK(!sketches_.empty(), "subgraph produced no sketches");
+  spaces_.reserve(sketches_.size());
+  for (const Sketch& sk : sketches_) {
+    spaces_.emplace_back(sk, hw->num_unroll_options());
+  }
+}
+
+void TaskState::commit_measurements(const std::vector<MeasuredRecord>& records) {
+  if (records.empty()) return;
+  std::vector<Schedule> scheds;
+  std::vector<double> times;
+  scheds.reserve(records.size());
+  times.reserve(records.size());
+  for (const MeasuredRecord& r : records) {
+    scheds.push_back(r.sched);
+    times.push_back(r.time_ms);
+    measured_fps_.insert(r.sched.fingerprint());
+    ++trials_spent_;
+    if (r.time_ms < best_time_ms_) {
+      best_time_ms_ = r.time_ms;
+      best_schedule_ = r.sched;
+    }
+    curve_.push_back({r.trial_index, best_time_ms_});
+  }
+  cost_model_.update(scheds, times);
+  best_history_.push_back(best_time_ms_);
+  ++rounds_;
+
+  best_pool_.insert(best_pool_.end(), records.begin(), records.end());
+  std::sort(best_pool_.begin(), best_pool_.end(),
+            [](const MeasuredRecord& a, const MeasuredRecord& b) {
+              return a.time_ms < b.time_ms;
+            });
+  if (best_pool_.size() > kBestPoolSize) best_pool_.resize(kBestPoolSize);
+}
+
+std::vector<Schedule> select_top_k(const TaskState& task,
+                                   std::vector<ScoredCandidate> candidates, int k,
+                                   double epsilon_random, Rng& rng) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.score > b.score;
+            });
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Schedule> picked;
+  std::vector<const ScoredCandidate*> rest;
+  int greedy_k = k - static_cast<int>(epsilon_random * k);
+  for (const ScoredCandidate& c : candidates) {
+    std::uint64_t fp = c.sched.fingerprint();
+    if (seen.count(fp) > 0 || task.already_measured(c.sched)) continue;
+    seen.insert(fp);
+    if (static_cast<int>(picked.size()) < greedy_k) {
+      picked.push_back(c.sched);
+    } else {
+      rest.push_back(&c);
+    }
+  }
+  // Epsilon slots: uniform picks from the non-elite remainder (exploration).
+  while (static_cast<int>(picked.size()) < k && !rest.empty()) {
+    std::size_t j = rng.pick_index(rest.size());
+    picked.push_back(rest[j]->sched);
+    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+  return picked;
+}
+
+std::vector<MeasuredRecord> measure_and_commit(TaskState& task, Measurer& measurer,
+                                               const std::vector<Schedule>& scheds) {
+  std::vector<MeasuredRecord> records;
+  if (scheds.empty()) return records;
+  std::int64_t base = measurer.trials_used();
+  std::vector<double> times = measurer.measure_batch(scheds);
+  records.reserve(scheds.size());
+  for (std::size_t i = 0; i < scheds.size(); ++i) {
+    records.push_back({scheds[i], times[i], base + static_cast<std::int64_t>(i)});
+  }
+  task.commit_measurements(records);
+  return records;
+}
+
+}  // namespace harl

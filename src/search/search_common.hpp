@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+#include "hwsim/measurer.hpp"
+#include "sched/actions.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace harl {
+
+/// One measured schedule (the paper's "trial").
+struct MeasuredRecord {
+  Schedule sched;
+  double time_ms = 0;
+  std::int64_t trial_index = 0;  ///< global trial counter at measurement time
+};
+
+/// A point on the tuning curve: best time after `trials` measurements.
+struct CurvePoint {
+  std::int64_t trials = 0;
+  double best_ms = std::numeric_limits<double>::infinity();
+};
+
+/// Per-subgraph tuning state shared by every search policy: the sketch set,
+/// per-sketch action spaces, the task's online cost model, and the
+/// measurement history.  Non-copyable (action spaces point into `sketches`).
+class TaskState {
+ public:
+  TaskState(const Subgraph* graph, const HardwareConfig* hw);
+  TaskState(const TaskState&) = delete;
+  TaskState& operator=(const TaskState&) = delete;
+
+  const Subgraph& graph() const { return *graph_; }
+  const HardwareConfig& hardware() const { return *hw_; }
+  int num_sketches() const { return static_cast<int>(sketches_.size()); }
+  const Sketch& sketch(int u) const { return sketches_.at(static_cast<std::size_t>(u)); }
+  const ActionSpace& space(int u) const { return spaces_.at(static_cast<std::size_t>(u)); }
+
+  XgbCostModel& cost_model() { return cost_model_; }
+  const XgbCostModel& cost_model() const { return cost_model_; }
+
+  double best_time_ms() const { return best_time_ms_; }
+  bool has_best() const { return best_time_ms_ < std::numeric_limits<double>::infinity(); }
+  const Schedule& best_schedule() const { return best_schedule_; }
+
+  std::int64_t trials_spent() const { return trials_spent_; }
+  int rounds() const { return rounds_; }
+  const std::vector<CurvePoint>& curve() const { return curve_; }
+
+  /// Best time as of `trials_spent` snapshots taken each round (for the
+  /// gradient estimation of Eq. 3).
+  const std::vector<double>& best_history() const { return best_history_; }
+
+  /// True when this exact schedule was measured before (fingerprint match).
+  bool already_measured(const Schedule& s) const {
+    return measured_fps_.count(s.fingerprint()) > 0;
+  }
+
+  /// Fold a round of measurements into the task: update best/curve/history,
+  /// retrain the cost model, account trials.
+  void commit_measurements(const std::vector<MeasuredRecord>& records);
+
+  /// The best measured schedules so far (ascending time), capped at
+  /// kBestPoolSize.  Seeds Ansor's evolutionary population and the SA chain.
+  const std::vector<MeasuredRecord>& best_pool() const { return best_pool_; }
+  static constexpr std::size_t kBestPoolSize = 64;
+
+ private:
+  const Subgraph* graph_;
+  const HardwareConfig* hw_;
+  std::vector<Sketch> sketches_;
+  std::vector<ActionSpace> spaces_;
+  XgbCostModel cost_model_;
+
+  double best_time_ms_ = std::numeric_limits<double>::infinity();
+  Schedule best_schedule_;
+  std::int64_t trials_spent_ = 0;
+  int rounds_ = 0;
+  std::vector<CurvePoint> curve_;
+  std::vector<double> best_history_;
+  std::unordered_set<std::uint64_t> measured_fps_;
+  std::vector<MeasuredRecord> best_pool_;
+};
+
+/// A scored schedule candidate awaiting the top-K selection phase.
+struct ScoredCandidate {
+  Schedule sched;
+  double score = 0;  ///< cost-model score, higher is better
+};
+
+/// Top-K selection (PHASE 2 of Figure 3): pick the `k` highest-scored
+/// candidates, deduplicated by fingerprint and excluding schedules the task
+/// already measured.  `epsilon_random` picks that fraction of the K slots
+/// uniformly at random from the remainder (Ansor's epsilon-greedy measure
+/// selection), using `rng`.
+std::vector<Schedule> select_top_k(const TaskState& task,
+                                   std::vector<ScoredCandidate> candidates, int k,
+                                   double epsilon_random, Rng& rng);
+
+/// A per-subgraph search policy: one `tune_round` explores candidate
+/// schedules internally (guided by the task's cost model), measures up to
+/// `num_measures` of them, commits the results to the task, and returns the
+/// measured records.
+class SearchPolicy {
+ public:
+  virtual ~SearchPolicy() = default;
+  virtual const char* name() const = 0;
+  virtual std::vector<MeasuredRecord> tune_round(Measurer& measurer,
+                                                 int num_measures) = 0;
+
+  /// Relative position (in [0,1]) of the best-scored schedule along every
+  /// completed search track, accumulated across rounds.  Drives the
+  /// search-path-efficiency histograms (Figures 1c and 7b).
+  const std::vector<double>& critical_positions() const {
+    return critical_positions_;
+  }
+
+ protected:
+  std::vector<double> critical_positions_;
+};
+
+/// Helper shared by policies: measure a batch, build records, commit them.
+std::vector<MeasuredRecord> measure_and_commit(TaskState& task, Measurer& measurer,
+                                               const std::vector<Schedule>& scheds);
+
+}  // namespace harl

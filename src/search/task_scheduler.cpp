@@ -1,0 +1,184 @@
+#include "search/task_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace harl {
+
+const char* policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kHarl: return "HARL";
+    case PolicyKind::kHarlFixedLength: return "Hierarchical-RL";
+    case PolicyKind::kAnsor: return "Ansor";
+    case PolicyKind::kFlextensor: return "Flextensor";
+    case PolicyKind::kAutoTvmSa: return "AutoTVM-SA";
+    case PolicyKind::kRandom: return "Random";
+  }
+  return "?";
+}
+
+std::unique_ptr<SearchPolicy> make_policy(PolicyKind kind, TaskState* task,
+                                          const SearchOptions& opts) {
+  switch (kind) {
+    case PolicyKind::kHarl: {
+      HarlConfig cfg = opts.harl;
+      cfg.stop.enabled = true;
+      cfg.seed ^= opts.seed;
+      return std::make_unique<HarlSearchPolicy>(task, cfg);
+    }
+    case PolicyKind::kHarlFixedLength: {
+      HarlConfig cfg = opts.harl;
+      cfg.stop.enabled = false;
+      cfg.seed ^= opts.seed;
+      return std::make_unique<HarlSearchPolicy>(task, cfg);
+    }
+    case PolicyKind::kAnsor: {
+      AnsorConfig cfg = opts.ansor;
+      cfg.seed ^= opts.seed;
+      return std::make_unique<AnsorSearchPolicy>(task, cfg);
+    }
+    case PolicyKind::kFlextensor: {
+      FlextensorConfig cfg = opts.flextensor;
+      cfg.seed ^= opts.seed;
+      return std::make_unique<FlextensorSearchPolicy>(task, cfg);
+    }
+    case PolicyKind::kAutoTvmSa: {
+      AutoTvmConfig cfg = opts.autotvm;
+      cfg.seed ^= opts.seed;
+      return std::make_unique<AutoTvmSearchPolicy>(task, cfg);
+    }
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomSearchPolicy>(task, opts.seed);
+  }
+  HARL_CHECK(false, "unknown policy kind");
+  return nullptr;
+}
+
+TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
+                             SearchOptions opts)
+    : net_(net),
+      hw_(hw),
+      opts_(opts),
+      task_mab_(std::max<int>(1, static_cast<int>(net->subgraphs.size())),
+                opts.task_ucb) {
+  for (std::size_t n = 0; n < net_->subgraphs.size(); ++n) {
+    tasks_.push_back(std::make_unique<TaskState>(&net_->subgraphs[n], hw_));
+    SearchOptions per_task = opts_;
+    per_task.seed = opts_.seed + 1000003ULL * (n + 1);
+    policies_.push_back(make_policy(opts_.policy, tasks_.back().get(), per_task));
+  }
+}
+
+double TaskScheduler::estimated_latency_ms() const {
+  double total = 0;
+  for (std::size_t n = 0; n < tasks_.size(); ++n) {
+    if (!tasks_[n]->has_best()) return std::numeric_limits<double>::infinity();
+    total += net_->subgraphs[n].weight() * tasks_[n]->best_time_ms();
+  }
+  return total;
+}
+
+double TaskScheduler::task_gradient(int i) const {
+  const TaskState& t = *tasks_[static_cast<std::size_t>(i)];
+  if (!t.has_best()) return -std::numeric_limits<double>::infinity();
+  double w = t.graph().weight();
+  double g = t.best_time_ms();
+
+  // Backward term: observed improvement rate over the last round (Delta t =
+  // the trials one round consumes).
+  double backward = 0;
+  const std::vector<double>& hist = t.best_history();
+  if (hist.size() >= 2) {
+    double delta_t = std::max(1, opts_.measures_per_round);
+    backward = (g - hist[hist.size() - 2]) / delta_t;
+  }
+
+  // Forward term: min(-g/t, beta * B / max_similar_throughput - g).
+  double trials = static_cast<double>(std::max<std::int64_t>(1, t.trials_spent()));
+  double forward = -g / trials;
+  double flops_i = t.graph().total_flops();
+  double max_similar_speed = 0;  // flops per ms among structurally similar tasks
+  for (std::size_t k = 0; k < tasks_.size(); ++k) {
+    if (static_cast<int>(k) == i || !tasks_[k]->has_best()) continue;
+    if (tasks_[k]->graph().dominant_kind() != t.graph().dominant_kind()) continue;
+    // Similarity group M(a): same operator family AND comparable size.
+    // Ansor groups by compute-DAG tags; a 100x flops gap means a different
+    // regime (e.g. a batch-1 pooler GEMM vs the sequence GEMMs), and using
+    // its throughput as the achievable target would chase an impossible
+    // prediction forever.
+    double ratio = tasks_[k]->graph().total_flops() / std::max(1.0, flops_i);
+    if (ratio > 8.0 || ratio < 1.0 / 8.0) continue;
+    max_similar_speed = std::max(
+        max_similar_speed, tasks_[k]->graph().total_flops() / tasks_[k]->best_time_ms());
+  }
+  if (max_similar_speed > 0) {
+    double predicted_ms = opts_.gradient_beta * flops_i / max_similar_speed;
+    forward = std::min(forward, predicted_ms - g);
+  }
+
+  return w * (opts_.gradient_alpha * backward + (1 - opts_.gradient_alpha) * forward);
+}
+
+int TaskScheduler::select_task() {
+  // Warmup: every task gets one round first (all selection rules need a
+  // baseline measurement per task).
+  for (std::size_t n = 0; n < tasks_.size(); ++n) {
+    if (tasks_[n]->rounds() == 0) return static_cast<int>(n);
+  }
+  switch (opts_.effective_task_select()) {
+    case TaskSelectKind::kGreedyGradient: {
+      int best = 0;
+      double best_grad = std::numeric_limits<double>::infinity();
+      for (int n = 0; n < num_tasks(); ++n) {
+        double grad = task_gradient(n);
+        if (grad < best_grad) {
+          best_grad = grad;
+          best = n;
+        }
+      }
+      return best;
+    }
+    case TaskSelectKind::kSwUcbMab:
+      return task_mab_.select();
+    case TaskSelectKind::kRoundRobin:
+      return round_robin_next_++ % num_tasks();
+  }
+  return 0;
+}
+
+void TaskScheduler::run(Measurer& measurer, std::int64_t total_trials) {
+  std::int64_t start = measurer.trials_used();
+  while (measurer.trials_used() - start < total_trials) {
+    int n = select_task();
+    policies_[static_cast<std::size_t>(n)]->tune_round(measurer,
+                                                       opts_.measures_per_round);
+
+    if (opts_.effective_task_select() == TaskSelectKind::kSwUcbMab) {
+      // MAB reward: the negated Eq. 3 gradient, normalized by the current
+      // objective so rewards are dimensionless per-round improvements.
+      double f = estimated_latency_ms();
+      double reward = 0;
+      if (std::isfinite(f) && f > 0) {
+        double grad = task_gradient(n);
+        if (std::isfinite(grad)) {
+          reward = -grad * opts_.measures_per_round / f;
+        }
+      }
+      task_mab_.update(n, reward);
+    }
+
+    round_log_.push_back({n, measurer.trials_used() - start, estimated_latency_ms()});
+  }
+}
+
+std::vector<std::int64_t> TaskScheduler::task_allocations() const {
+  std::vector<std::int64_t> out;
+  out.reserve(tasks_.size());
+  for (const auto& t : tasks_) out.push_back(t->trials_spent());
+  return out;
+}
+
+}  // namespace harl

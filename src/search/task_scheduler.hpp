@@ -1,0 +1,128 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bandit/sw_ucb.hpp"
+#include "ir/subgraph.hpp"
+#include "search/ansor_search.hpp"
+#include "search/autotvm_search.hpp"
+#include "search/flextensor_search.hpp"
+#include "search/harl_search.hpp"
+#include "search/random_search.hpp"
+
+namespace harl {
+
+/// Which per-subgraph search policy to instantiate.
+enum class PolicyKind {
+  kHarl,            ///< full HARL (hierarchical RL + adaptive stopping)
+  kHarlFixedLength, ///< "Hierarchical-RL" ablation: no adaptive stopping
+  kAnsor,           ///< evolutionary baseline
+  kFlextensor,      ///< fixed-sketch RL baseline
+  kAutoTvmSa,       ///< simulated-annealing baseline
+  kRandom,
+};
+
+const char* policy_kind_name(PolicyKind kind);
+
+/// How the tuner distributes trials across subgraphs (Table 1 column 1).
+enum class TaskSelectKind {
+  kGreedyGradient,  ///< Ansor: argmin of the Eq. 3 gradient (deterministic)
+  kSwUcbMab,        ///< HARL: non-stationary MAB with reward -gradient
+  kRoundRobin,
+};
+
+/// Everything configurable about a tuning run.  Defaults reproduce the
+/// paper's Table 5 settings scaled by the caller (benchmarks pass smaller
+/// track counts via `harl.stop` for wall-clock reasons; `--paper` restores
+/// the published values).
+struct SearchOptions {
+  PolicyKind policy = PolicyKind::kHarl;
+  std::optional<TaskSelectKind> task_select;  ///< default derived from policy
+
+  HarlConfig harl;
+  AnsorConfig ansor;
+  FlextensorConfig flextensor;
+  AutoTvmConfig autotvm;
+
+  int measures_per_round = 10;  ///< K of the top-K selection phase
+
+  // Eq. 3 gradient parameters (Table 5).
+  double gradient_alpha = 0.2;
+  double gradient_beta = 2.0;
+  SwUcbConfig task_ucb;  ///< subgraph-level MAB parameters
+
+  std::uint64_t seed = 42;
+
+  TaskSelectKind effective_task_select() const {
+    if (task_select.has_value()) return *task_select;
+    switch (policy) {
+      case PolicyKind::kHarl: return TaskSelectKind::kSwUcbMab;
+      case PolicyKind::kHarlFixedLength: return TaskSelectKind::kSwUcbMab;
+      case PolicyKind::kAnsor: return TaskSelectKind::kGreedyGradient;
+      default: return TaskSelectKind::kRoundRobin;
+    }
+  }
+};
+
+/// Instantiate the per-subgraph policy of `kind` for a task.
+std::unique_ptr<SearchPolicy> make_policy(PolicyKind kind, TaskState* task,
+                                          const SearchOptions& opts);
+
+/// End-to-end tuner: owns one TaskState + SearchPolicy per subgraph of a
+/// network and distributes the measurement-trial budget across them
+/// (Section 2.2's f(S) = sum_n w_n g_n objective).
+///
+/// Subgraph selection is the first level of HARL's hierarchy: a
+/// non-stationary SW-UCB bandit whose reward is the negated Ansor gradient
+/// (Eq. 3/4).  The Ansor baseline uses the greedy argmin-gradient rule the
+/// paper's Observation 1 criticizes; round-robin serves simple baselines.
+class TaskScheduler {
+ public:
+  TaskScheduler(const Network* net, const HardwareConfig* hw, SearchOptions opts);
+
+  /// Tune until `total_trials` measurements are consumed (a warmup pass
+  /// first tunes every task once).
+  void run(Measurer& measurer, std::int64_t total_trials);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  TaskState& task(int i) { return *tasks_.at(static_cast<std::size_t>(i)); }
+  const TaskState& task(int i) const { return *tasks_.at(static_cast<std::size_t>(i)); }
+  SearchPolicy& policy(int i) { return *policies_.at(static_cast<std::size_t>(i)); }
+  const Network& network() const { return *net_; }
+  const SearchOptions& options() const { return opts_; }
+
+  /// Estimated network latency sum_n w_n g_n with current per-task bests;
+  /// +inf until every task has at least one measurement.
+  double estimated_latency_ms() const;
+
+  /// Estimated-latency curve, one point per completed round.
+  struct RoundLog {
+    int task = -1;
+    std::int64_t trials_after = 0;     ///< cumulative trials after the round
+    double net_latency_ms = 0;         ///< +inf during warmup
+  };
+  const std::vector<RoundLog>& round_log() const { return round_log_; }
+
+  /// Trials consumed by each task so far.
+  std::vector<std::int64_t> task_allocations() const;
+
+  /// The Eq. 3 gradient estimate for task `i` (negative = predicted
+  /// improvement of the weighted objective).  Exposed for tests and reports.
+  double task_gradient(int i) const;
+
+ private:
+  int select_task();
+
+  const Network* net_;
+  const HardwareConfig* hw_;
+  SearchOptions opts_;
+  std::vector<std::unique_ptr<TaskState>> tasks_;
+  std::vector<std::unique_ptr<SearchPolicy>> policies_;
+  SwUcb task_mab_;
+  int round_robin_next_ = 0;
+  std::vector<RoundLog> round_log_;
+};
+
+}  // namespace harl

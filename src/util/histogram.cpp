@@ -1,0 +1,69 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace harl {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0) {}
+
+void Histogram::add(double x) {
+  if (counts_.empty()) return;
+  double t = (x - lo_) / (hi_ - lo_);
+  long bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) / static_cast<double>(counts_.size());
+}
+
+double Histogram::fraction_at_or_above(double threshold) const {
+  if (total_ == 0) return 0.0;
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    double mid = 0.5 * (bin_lo(b) + bin_hi(b));
+    if (mid >= threshold) n += counts_[b];
+  }
+  return static_cast<double>(n) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(int bar_width) const {
+  std::size_t max_count = 0;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "[%6.2f, %6.2f)", bin_lo(b), bin_hi(b));
+    out << label << "  " << ascii_bar(static_cast<double>(counts_[b]),
+                                      static_cast<double>(std::max<std::size_t>(max_count, 1)),
+                                      bar_width)
+        << "  " << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+std::string Histogram::to_csv() const {
+  std::ostringstream out;
+  out << "bin_lo,bin_hi,count\n";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out << bin_lo(b) << ',' << bin_hi(b) << ',' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace harl

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace harl {
+
+/// Fixed-bin histogram over a closed range.
+///
+/// Regenerates the paper's frequency plots: Figure 1c and Figure 7b bucket the
+/// relative position of the best-performing schedule along a search path into
+/// 10% bins; Figure 1b's violin is summarized via `Histogram` + quantiles.
+class Histogram {
+ public:
+  /// Bins partition [lo, hi]; values outside are clamped to the edge bins.
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t num_bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+
+  /// Inclusive-exclusive bin bounds ([lo_i, hi_i)); last bin is inclusive.
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+
+  /// Fraction of samples in bins whose midpoint is >= threshold.
+  double fraction_at_or_above(double threshold) const;
+
+  /// ASCII rendering: one line per bin with a proportional bar.
+  std::string to_string(int bar_width = 40) const;
+
+  /// CSV: bin_lo,bin_hi,count
+  std::string to_csv() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace harl

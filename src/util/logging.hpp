@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace harl {
+
+/// Severity levels for library diagnostics.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Benchmarks default to kWarn so tables stay clean; tests may raise/lower it.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging. Thread-safe at the line level (single fprintf call).
+void log_message(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+#define HARL_LOG_DEBUG(...) ::harl::log_message(::harl::LogLevel::kDebug, __VA_ARGS__)
+#define HARL_LOG_INFO(...) ::harl::log_message(::harl::LogLevel::kInfo, __VA_ARGS__)
+#define HARL_LOG_WARN(...) ::harl::log_message(::harl::LogLevel::kWarn, __VA_ARGS__)
+#define HARL_LOG_ERROR(...) ::harl::log_message(::harl::LogLevel::kError, __VA_ARGS__)
+
+/// Abort with a message if `cond` is false. Used for internal invariants that
+/// indicate programmer error (not user input validation).
+#define HARL_CHECK(cond, msg)                                                   \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::harl::log_message(::harl::LogLevel::kError, "CHECK failed at %s:%d: %s",\
+                          __FILE__, __LINE__, msg);                             \
+      std::abort();                                                             \
+    }                                                                           \
+  } while (0)
+
+}  // namespace harl

@@ -1,0 +1,86 @@
+#include "util/rng.hpp"
+
+namespace harl {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  std::uint32_t xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  // Lemire-style rejection to avoid modulo bias.
+  std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int Rng::next_int(int lo, int hi) {
+  return lo + static_cast<int>(next_below(static_cast<std::uint32_t>(hi - lo + 1)));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+double Rng::next_range(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+double Rng::next_normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  double u2 = next_double();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_normal_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_normal_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::next_normal(double mean, double stddev) { return mean + stddev * next_normal(); }
+
+double Rng::next_lognoise(double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return std::exp(next_normal(0.0, sigma));
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+Rng Rng::split() {
+  std::uint64_t seed = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  std::uint64_t stream = (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  return Rng(seed, stream);
+}
+
+std::size_t Rng::pick_index(std::size_t size) {
+  return static_cast<std::size_t>(next_below(static_cast<std::uint32_t>(size)));
+}
+
+std::size_t Rng::pick_weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0 ? w : 0.0);
+  if (total <= 1e-300) return pick_index(weights.size());
+  double r = next_double() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0.0 ? weights[i] : 0.0);
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace harl

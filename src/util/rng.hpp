@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <vector>
+#include <algorithm>
+
+namespace harl {
+
+/// Deterministic, splittable random number generator (PCG32).
+///
+/// Every stochastic component in the library draws from an explicitly passed
+/// `Rng` so that a tuning run is reproducible from a single seed.  `split()`
+/// derives an independent stream, which lets parallel schedule tracks and
+/// subsystems (sampler, PPO, measurer noise) evolve without sharing state.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Next raw 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform integer in [0, bound) without modulo bias. `bound` must be > 0.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int next_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double next_range(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double next_normal();
+
+  /// Normal with given mean and standard deviation.
+  double next_normal(double mean, double stddev);
+
+  /// Lognormal multiplicative noise: exp(N(0, sigma)). sigma==0 returns 1.
+  double next_lognoise(double sigma);
+
+  /// True with probability `p`.
+  bool next_bool(double p = 0.5);
+
+  /// Derive an independent generator (distinct stream) from this one.
+  Rng split();
+
+  /// Pick a uniformly random element index from a non-empty container size.
+  std::size_t pick_index(std::size_t size);
+
+  /// Sample an index from unnormalized non-negative weights.
+  /// Falls back to uniform if all weights are ~0.
+  std::size_t pick_weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = pick_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffu; }
+  result_type operator()() { return next_u32(); }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace harl

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace harl {
+
+/// Descriptive statistics over a sample of doubles.
+///
+/// Used throughout the benchmark harnesses to summarize measured execution
+/// times, improvement ratios (Figure 1b) and search-path positions (Figures
+/// 1c / 7b).
+struct SampleStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+};
+
+/// Compute full stats for `xs`. Empty input yields a zeroed struct.
+SampleStats compute_stats(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, q in [0,1]. Input need not be sorted.
+double percentile(std::vector<double> xs, double q);
+
+/// Geometric mean of strictly positive values; 0 if any non-positive/empty.
+double geomean(const std::vector<double>& xs);
+
+/// Divide every value by the maximum (paper-style normalization to [0,1]).
+/// If max <= 0, returns the input unchanged.
+std::vector<double> normalize_to_max(std::vector<double> xs);
+
+/// Online exponential moving average.
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  double update(double x) {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+    return value_;
+  }
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace harl

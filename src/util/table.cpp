@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace harl {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+void Table::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void Table::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string Table::fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string Table::cell(double v) { return fmt(v, 4); }
+std::string Table::cell(int v) { return std::to_string(v); }
+std::string Table::cell(long v) { return std::to_string(v); }
+std::string Table::cell(long long v) { return std::to_string(v); }
+std::string Table::cell(std::size_t v) { return std::to_string(v); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths;
+  auto absorb = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  if (!header_.empty()) absorb(header_);
+  for (const auto& r : rows_) absorb(r);
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << row[i];
+      if (i + 1 < row.size()) out << std::string(widths[i] - row[i].size() + 2, ' ');
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << csv_escape(row[i]);
+      if (i + 1 < row.size()) out << ',';
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+bool Table::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || value < 0.0) return "";
+  int fill = static_cast<int>(value / max_value * width + 0.5);
+  fill = std::min(fill, width);
+  std::string s(static_cast<std::size_t>(fill), '#');
+  s += std::string(static_cast<std::size_t>(width - fill), '.');
+  return s;
+}
+
+}  // namespace harl

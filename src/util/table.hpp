@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace harl {
+
+/// Console/CSV table builder used by every benchmark harness to print the
+/// rows/series the paper reports (Figures 5-10, Tables 4/7/8).
+///
+/// Cells are strings; numeric helpers format with fixed precision.  `print()`
+/// emits an aligned ASCII table; `to_csv()` emits RFC-4180-ish CSV so plots
+/// can be regenerated offline.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Append a row built from mixed values; see `cell()` overloads.
+  template <typename... Args>
+  void add(Args&&... args) {
+    add_row({cell(std::forward<Args>(args))...});
+  }
+
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(double v);
+  static std::string cell(int v);
+  static std::string cell(long v);
+  static std::string cell(long long v);
+  static std::string cell(std::size_t v);
+
+  /// Format a double with `digits` decimals.
+  static std::string fmt(double v, int digits = 3);
+
+  std::string to_string() const;
+  std::string to_csv() const;
+  void print() const;
+
+  /// Write CSV to a file path; returns false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a horizontal ASCII bar of `width` cells filled proportionally to
+/// value/max (used for Figure 1a / Figure 10 style allocation charts).
+std::string ascii_bar(double value, double max_value, int width = 40);
+
+}  // namespace harl

@@ -1,0 +1,77 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+
+namespace harl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    unsigned hc = std::thread::hardware_concurrency();
+    num_threads = hc > 0 ? hc : 1;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t shards = std::min(count, workers_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks_.push([&, count] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1);
+          if (i >= count) break;
+          fn(i);
+        }
+        std::lock_guard<std::mutex> dl(done_mu);
+        ++done;
+        done_cv.notify_one();
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> dl(done_mu);
+  done_cv.wait(dl, [&] { return done.load() == shards; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace harl

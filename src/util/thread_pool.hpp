@@ -1,0 +1,49 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace harl {
+
+/// Fixed-size worker pool with a blocking `parallel_for`.
+///
+/// Used by the measurer to evaluate schedule batches concurrently (the paper's
+/// measurer runs candidate programs in parallel on the target) and by the
+/// benchmark harness to run independent tuning configurations side by side.
+/// Exceptions thrown by tasks terminate the process by design: worker tasks in
+/// this library are noexcept-by-contract numeric kernels.
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count) across the pool; blocks until all complete.
+  /// Falls back to the calling thread when count <= 1 or the pool is size 1.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Global pool shared by measurement batches (lazily constructed, sized to
+/// hardware concurrency).
+ThreadPool& global_pool();
+
+}  // namespace harl

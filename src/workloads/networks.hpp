@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/subgraph.hpp"
+
+namespace harl {
+
+/// End-to-end network inventories for the paper's Section 6.3 experiments.
+///
+/// Each network is represented as its set of *distinct* subgraphs (the
+/// paper's tasks) with appearance-count weights w_n, matching how TVM/Ansor
+/// decompose a model for tuning:
+///   - BERT-base (seq len 128): 10 distinct subgraphs (Table 4 inventory:
+///     GEMM-I..IV, Softmax, Batch_GEMM-I/II, Element-wise-I/II, GEMM+Tanh),
+///   - ResNet-50 (224x224): 24 distinct subgraphs (convolutions + dense),
+///   - MobileNet-V2 (224x224): 21 distinct subgraphs (expand / depthwise /
+///     project stages of the inverted-residual blocks).
+Network make_bert(std::int64_t batch = 1);
+Network make_resnet50(std::int64_t batch = 1);
+Network make_mobilenet_v2(std::int64_t batch = 1);
+
+/// Lookup by name: "bert", "resnet50", "mobilenet_v2".
+/// Throws std::invalid_argument for unknown names.
+Network make_network(const std::string& name, std::int64_t batch = 1);
+
+const std::vector<std::string>& network_names();
+
+}  // namespace harl

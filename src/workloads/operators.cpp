@@ -1,0 +1,385 @@
+#include "workloads/operators.hpp"
+
+namespace harl {
+
+namespace {
+
+std::int64_t conv_out(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                      std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+std::int64_t t2d_out(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                     std::int64_t pad) {
+  return (in - 1) * stride - 2 * pad + kernel;
+}
+
+}  // namespace
+
+TensorOp make_gemm_op(std::int64_t m, std::int64_t k, std::int64_t n,
+                      std::int64_t batch, const std::string& name) {
+  TensorOp op;
+  op.name = name;
+  op.kind = batch > 1 ? OpKind::kBatchGemm : OpKind::kGemm;
+  op.flops_per_point = 2.0;
+  int axis = 0;
+  int b_ax = -1;
+  if (batch > 1) {
+    op.axes.push_back({"b", batch, AxisKind::kSpatial});
+    b_ax = axis++;
+  }
+  op.axes.push_back({"i", m, AxisKind::kSpatial});
+  int i_ax = axis++;
+  op.axes.push_back({"j", n, AxisKind::kSpatial});
+  int j_ax = axis++;
+  op.axes.push_back({"k", k, AxisKind::kReduction});
+  int k_ax = axis++;
+
+  TensorAccess a;
+  a.tensor_name = "A";
+  if (b_ax >= 0) a.dims.push_back(DimExpr::of_axis(b_ax));
+  a.dims.push_back(DimExpr::of_axis(i_ax));
+  a.dims.push_back(DimExpr::of_axis(k_ax));
+  TensorAccess b;
+  b.tensor_name = "B";
+  if (b_ax >= 0) b.dims.push_back(DimExpr::of_axis(b_ax));
+  b.dims.push_back(DimExpr::of_axis(k_ax));
+  b.dims.push_back(DimExpr::of_axis(j_ax));
+  op.inputs = {a, b};
+  return op;
+}
+
+TensorOp make_conv1d_op(std::int64_t batch, std::int64_t length, std::int64_t ci,
+                        std::int64_t co, std::int64_t kernel, std::int64_t stride,
+                        std::int64_t pad, const std::string& name) {
+  std::int64_t lo = conv_out(length, kernel, stride, pad);
+  TensorOp op;
+  op.name = name;
+  op.kind = OpKind::kConv1d;
+  op.flops_per_point = 2.0;
+  op.axes = {{"n", batch, AxisKind::kSpatial},
+             {"l", lo, AxisKind::kSpatial},
+             {"co", co, AxisKind::kSpatial},
+             {"rc", ci, AxisKind::kReduction},
+             {"rk", kernel, AxisKind::kReduction}};
+  TensorAccess x;
+  x.tensor_name = "X";
+  x.dims.push_back(DimExpr::of_axis(0));
+  x.dims.push_back(DimExpr::of_axis(3));
+  DimExpr pos;
+  pos.terms = {{1, stride}, {4, 1}};
+  x.dims.push_back(pos);
+  TensorAccess w;
+  w.tensor_name = "W";
+  w.dims = {DimExpr::of_axis(2), DimExpr::of_axis(3), DimExpr::of_axis(4)};
+  op.inputs = {x, w};
+  return op;
+}
+
+TensorOp make_conv2d_op(std::int64_t batch, std::int64_t h, std::int64_t w,
+                        std::int64_t ci, std::int64_t co, std::int64_t kernel,
+                        std::int64_t stride, std::int64_t pad, const std::string& name) {
+  std::int64_t ho = conv_out(h, kernel, stride, pad);
+  std::int64_t wo = conv_out(w, kernel, stride, pad);
+  TensorOp op;
+  op.name = name;
+  op.kind = OpKind::kConv2d;
+  op.flops_per_point = 2.0;
+  op.axes = {{"n", batch, AxisKind::kSpatial},   // 0
+             {"oh", ho, AxisKind::kSpatial},     // 1
+             {"ow", wo, AxisKind::kSpatial},     // 2
+             {"co", co, AxisKind::kSpatial},     // 3
+             {"rc", ci, AxisKind::kReduction},   // 4
+             {"rh", kernel, AxisKind::kReduction},  // 5
+             {"rw", kernel, AxisKind::kReduction}}; // 6
+  TensorAccess x;
+  x.tensor_name = "X";
+  x.dims.push_back(DimExpr::of_axis(0));
+  x.dims.push_back(DimExpr::of_axis(4));
+  DimExpr hpos;
+  hpos.terms = {{1, stride}, {5, 1}};
+  x.dims.push_back(hpos);
+  DimExpr wpos;
+  wpos.terms = {{2, stride}, {6, 1}};
+  x.dims.push_back(wpos);
+  TensorAccess wt;
+  wt.tensor_name = "W";
+  wt.dims = {DimExpr::of_axis(3), DimExpr::of_axis(4), DimExpr::of_axis(5),
+             DimExpr::of_axis(6)};
+  op.inputs = {x, wt};
+  return op;
+}
+
+TensorOp make_depthwise_conv2d_op(std::int64_t batch, std::int64_t h, std::int64_t w,
+                                  std::int64_t channels, std::int64_t kernel,
+                                  std::int64_t stride, std::int64_t pad,
+                                  const std::string& name) {
+  std::int64_t ho = conv_out(h, kernel, stride, pad);
+  std::int64_t wo = conv_out(w, kernel, stride, pad);
+  TensorOp op;
+  op.name = name;
+  op.kind = OpKind::kConv2d;
+  op.flops_per_point = 2.0;
+  op.axes = {{"n", batch, AxisKind::kSpatial},    // 0
+             {"c", channels, AxisKind::kSpatial}, // 1
+             {"oh", ho, AxisKind::kSpatial},      // 2
+             {"ow", wo, AxisKind::kSpatial},      // 3
+             {"rh", kernel, AxisKind::kReduction},   // 4
+             {"rw", kernel, AxisKind::kReduction}};  // 5
+  TensorAccess x;
+  x.tensor_name = "X";
+  x.dims.push_back(DimExpr::of_axis(0));
+  x.dims.push_back(DimExpr::of_axis(1));
+  DimExpr hpos;
+  hpos.terms = {{2, stride}, {4, 1}};
+  x.dims.push_back(hpos);
+  DimExpr wpos;
+  wpos.terms = {{3, stride}, {5, 1}};
+  x.dims.push_back(wpos);
+  TensorAccess wt;
+  wt.tensor_name = "W";
+  wt.dims = {DimExpr::of_axis(1), DimExpr::of_axis(4), DimExpr::of_axis(5)};
+  op.inputs = {x, wt};
+  return op;
+}
+
+TensorOp make_conv3d_op(std::int64_t batch, std::int64_t d, std::int64_t h,
+                        std::int64_t w, std::int64_t ci, std::int64_t co,
+                        std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                        const std::string& name) {
+  std::int64_t dout = conv_out(d, kernel, stride, pad);
+  std::int64_t ho = conv_out(h, kernel, stride, pad);
+  std::int64_t wo = conv_out(w, kernel, stride, pad);
+  TensorOp op;
+  op.name = name;
+  op.kind = OpKind::kConv3d;
+  op.flops_per_point = 2.0;
+  op.axes = {{"n", batch, AxisKind::kSpatial},   // 0
+             {"od", dout, AxisKind::kSpatial},   // 1
+             {"oh", ho, AxisKind::kSpatial},     // 2
+             {"ow", wo, AxisKind::kSpatial},     // 3
+             {"co", co, AxisKind::kSpatial},     // 4
+             {"rc", ci, AxisKind::kReduction},   // 5
+             {"rd", kernel, AxisKind::kReduction},  // 6
+             {"rh", kernel, AxisKind::kReduction},  // 7
+             {"rw", kernel, AxisKind::kReduction}}; // 8
+  TensorAccess x;
+  x.tensor_name = "X";
+  x.dims.push_back(DimExpr::of_axis(0));
+  x.dims.push_back(DimExpr::of_axis(5));
+  DimExpr dpos;
+  dpos.terms = {{1, stride}, {6, 1}};
+  x.dims.push_back(dpos);
+  DimExpr hpos;
+  hpos.terms = {{2, stride}, {7, 1}};
+  x.dims.push_back(hpos);
+  DimExpr wpos;
+  wpos.terms = {{3, stride}, {8, 1}};
+  x.dims.push_back(wpos);
+  TensorAccess wt;
+  wt.tensor_name = "W";
+  wt.dims = {DimExpr::of_axis(4), DimExpr::of_axis(5), DimExpr::of_axis(6),
+             DimExpr::of_axis(7), DimExpr::of_axis(8)};
+  op.inputs = {x, wt};
+  return op;
+}
+
+TensorOp make_t2d_op(std::int64_t batch, std::int64_t h, std::int64_t w,
+                     std::int64_t ci, std::int64_t co, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t pad, const std::string& name) {
+  std::int64_t ho = t2d_out(h, kernel, stride, pad);
+  std::int64_t wo = t2d_out(w, kernel, stride, pad);
+  TensorOp op;
+  op.name = name;
+  op.kind = OpKind::kTransposedConv2d;
+  op.flops_per_point = 2.0;
+  op.axes = {{"n", batch, AxisKind::kSpatial},   // 0
+             {"oh", ho, AxisKind::kSpatial},     // 1
+             {"ow", wo, AxisKind::kSpatial},     // 2
+             {"co", co, AxisKind::kSpatial},     // 3
+             {"rc", ci, AxisKind::kReduction},   // 4
+             {"rh", kernel, AxisKind::kReduction},  // 5
+             {"rw", kernel, AxisKind::kReduction}}; // 6
+  // Transposed convolution reads input positions (oh + pad - rh) / stride.
+  // The exact footprint divides by stride; we approximate the slab extent
+  // with unit coefficients, which upper-bounds reuse by at most `stride`,
+  // uniformly across schedules (shape-preserving for search comparisons).
+  TensorAccess x;
+  x.tensor_name = "X";
+  x.dims.push_back(DimExpr::of_axis(0));
+  x.dims.push_back(DimExpr::of_axis(4));
+  DimExpr hpos;
+  hpos.terms = {{1, 1}, {5, 1}};
+  x.dims.push_back(hpos);
+  DimExpr wpos;
+  wpos.terms = {{2, 1}, {6, 1}};
+  x.dims.push_back(wpos);
+  TensorAccess wt;
+  wt.tensor_name = "W";
+  wt.dims = {DimExpr::of_axis(3), DimExpr::of_axis(4), DimExpr::of_axis(5),
+             DimExpr::of_axis(6)};
+  op.inputs = {x, wt};
+  return op;
+}
+
+TensorOp make_elementwise_op(std::int64_t elems, double flops_per_point, int arity,
+                             const std::string& name) {
+  TensorOp op;
+  op.name = name;
+  op.kind = OpKind::kElementwise;
+  op.flops_per_point = flops_per_point;
+  op.axes = {{"x", elems, AxisKind::kSpatial}};
+  for (int i = 0; i < arity; ++i) {
+    TensorAccess in;
+    in.tensor_name = "I" + std::to_string(i);
+    in.dims = {DimExpr::of_axis(0)};
+    op.inputs.push_back(in);
+  }
+  return op;
+}
+
+Subgraph make_gemm(std::int64_t m, std::int64_t k, std::int64_t n,
+                   std::int64_t batch, const std::string& name, double weight) {
+  return make_single_op_subgraph(make_gemm_op(m, k, n, batch, name), weight);
+}
+
+Subgraph make_batch_gemm(std::int64_t b, std::int64_t m, std::int64_t k,
+                         std::int64_t n, const std::string& name, double weight) {
+  return make_single_op_subgraph(make_gemm_op(m, k, n, b, name), weight);
+}
+
+Subgraph make_conv1d(std::int64_t batch, std::int64_t length, std::int64_t ci,
+                     std::int64_t co, std::int64_t kernel, std::int64_t stride,
+                     std::int64_t pad, const std::string& name, double weight) {
+  return make_single_op_subgraph(
+      make_conv1d_op(batch, length, ci, co, kernel, stride, pad, name), weight);
+}
+
+Subgraph make_conv2d(std::int64_t batch, std::int64_t h, std::int64_t w,
+                     std::int64_t ci, std::int64_t co, std::int64_t kernel,
+                     std::int64_t stride, std::int64_t pad, const std::string& name,
+                     double weight) {
+  return make_single_op_subgraph(
+      make_conv2d_op(batch, h, w, ci, co, kernel, stride, pad, name), weight);
+}
+
+Subgraph make_depthwise_conv2d(std::int64_t batch, std::int64_t h, std::int64_t w,
+                               std::int64_t channels, std::int64_t kernel,
+                               std::int64_t stride, std::int64_t pad,
+                               const std::string& name, double weight) {
+  return make_single_op_subgraph(
+      make_depthwise_conv2d_op(batch, h, w, channels, kernel, stride, pad, name),
+      weight);
+}
+
+Subgraph make_conv3d(std::int64_t batch, std::int64_t d, std::int64_t h,
+                     std::int64_t w, std::int64_t ci, std::int64_t co,
+                     std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                     const std::string& name, double weight) {
+  return make_single_op_subgraph(
+      make_conv3d_op(batch, d, h, w, ci, co, kernel, stride, pad, name), weight);
+}
+
+Subgraph make_t2d(std::int64_t batch, std::int64_t h, std::int64_t w,
+                  std::int64_t ci, std::int64_t co, std::int64_t kernel,
+                  std::int64_t stride, std::int64_t pad, const std::string& name,
+                  double weight) {
+  return make_single_op_subgraph(
+      make_t2d_op(batch, h, w, ci, co, kernel, stride, pad, name), weight);
+}
+
+Subgraph make_elementwise(std::int64_t elems, double flops_per_point,
+                          const std::string& name, double weight) {
+  return make_single_op_subgraph(make_elementwise_op(elems, flops_per_point, 2, name),
+                                 weight);
+}
+
+Subgraph make_softmax(std::int64_t rows, std::int64_t cols, const std::string& name,
+                      double weight) {
+  // Stage 0: row-wise reduction producing the normalizer (exp-sum).
+  TensorOp reduce;
+  reduce.name = name + ".reduce";
+  reduce.kind = OpKind::kReduce;
+  reduce.flops_per_point = 2.0;  // exp + add
+  reduce.axes = {{"r", rows, AxisKind::kSpatial}, {"rc", cols, AxisKind::kReduction}};
+  TensorAccess rx;
+  rx.tensor_name = "X";
+  rx.dims = {DimExpr::of_axis(0), DimExpr::of_axis(1)};
+  reduce.inputs = {rx};
+
+  // Stage 1: elementwise normalization, consuming X and the stage-0 output
+  // (broadcast along columns — a data-reuse pattern).
+  TensorOp norm;
+  norm.name = name + ".norm";
+  norm.kind = OpKind::kSoftmax;
+  norm.flops_per_point = 2.0;  // exp + div
+  norm.axes = {{"r", rows, AxisKind::kSpatial}, {"c", cols, AxisKind::kSpatial}};
+  TensorAccess nx;
+  nx.tensor_name = "X";
+  nx.dims = {DimExpr::of_axis(0), DimExpr::of_axis(1)};
+  TensorAccess ns;
+  ns.tensor_name = name + ".reduce";
+  ns.dims = {DimExpr::of_axis(0)};
+  norm.inputs = {nx, ns};
+
+  Stage s0;
+  s0.op = reduce;
+  s0.producer_of_input = {-1};
+  Stage s1;
+  s1.op = norm;
+  s1.producer_of_input = {-1, 0};
+  return Subgraph(name, {s0, s1}, weight);
+}
+
+Subgraph make_gemm_act(std::int64_t m, std::int64_t k, std::int64_t n,
+                       const std::string& act_name, const std::string& name,
+                       double weight) {
+  TensorOp gemm = make_gemm_op(m, k, n, 1, name + ".gemm");
+
+  TensorOp act;
+  act.name = name + "." + act_name;
+  act.kind = OpKind::kElementwise;
+  act.flops_per_point = 4.0;  // bias add + activation polynomial
+  act.axes = {{"i", m, AxisKind::kSpatial}, {"j", n, AxisKind::kSpatial}};
+  TensorAccess gin;
+  gin.tensor_name = name + ".gemm";
+  gin.dims = {DimExpr::of_axis(0), DimExpr::of_axis(1)};
+  act.inputs = {gin};
+
+  Stage s0;
+  s0.op = gemm;
+  s0.producer_of_input = {-1, -1};
+  Stage s1;
+  s1.op = act;
+  s1.producer_of_input = {0};
+  return Subgraph(name, {s0, s1}, weight);
+}
+
+Subgraph make_conv2d_relu(std::int64_t batch, std::int64_t h, std::int64_t w,
+                          std::int64_t ci, std::int64_t co, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad,
+                          const std::string& name, double weight) {
+  TensorOp conv = make_conv2d_op(batch, h, w, ci, co, kernel, stride, pad,
+                                 name + ".conv");
+  std::int64_t out_elems = conv.output_elems();
+
+  TensorOp relu;
+  relu.name = name + ".relu";
+  relu.kind = OpKind::kElementwise;
+  relu.flops_per_point = 2.0;  // bias add + max
+  relu.axes = {{"x", out_elems, AxisKind::kSpatial}};
+  TensorAccess cin;
+  cin.tensor_name = name + ".conv";
+  cin.dims = {DimExpr::of_axis(0)};
+  relu.inputs = {cin};
+
+  Stage s0;
+  s0.op = conv;
+  s0.producer_of_input = {-1, -1};
+  Stage s1;
+  s1.op = relu;
+  s1.producer_of_input = {0};
+  return Subgraph(name, {s0, s1}, weight);
+}
+
+}  // namespace harl

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "search/adaptive_stopping.hpp"
+
+namespace harl {
+namespace {
+
+TEST(SelectEliminations, DropsLowestAdvantageHalf) {
+  std::vector<double> adv = {0.9, 0.1, 0.5, 0.2, 0.8, 0.3};
+  auto kill = select_eliminations(adv, 0.5, 1);
+  // floor(0.5 * 6) = 3 lowest: indices 1 (0.1), 3 (0.2), 5 (0.3).
+  EXPECT_EQ(kill, (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SelectEliminations, RespectsMinTracks) {
+  std::vector<double> adv = {0.1, 0.2, 0.3, 0.4};
+  auto kill = select_eliminations(adv, 0.75, 3);
+  // Would drop 3, but only 1 allowed to keep 3 alive.
+  EXPECT_EQ(kill, (std::vector<int>{0}));
+}
+
+TEST(SelectEliminations, NothingToDropAtFloor) {
+  std::vector<double> adv = {0.1, 0.2};
+  EXPECT_TRUE(select_eliminations(adv, 0.5, 2).empty());
+  EXPECT_TRUE(select_eliminations(adv, 0.5, 5).empty());
+}
+
+TEST(SelectEliminations, StableTieBreaking) {
+  std::vector<double> adv = {0.5, 0.5, 0.5, 0.5};
+  auto kill = select_eliminations(adv, 0.5, 0);
+  EXPECT_EQ(kill, (std::vector<int>{0, 1}));  // earlier indices drop first
+}
+
+TEST(AdaptiveVisitBudget, PaperDefaultGeometry) {
+  // Table 5 defaults: I=256, rho=0.5, p-hat=64, lambda=20:
+  // 256*20 + 128*20 + 64*20 = 8960 visits.
+  AdaptiveStopConfig cfg;
+  EXPECT_EQ(adaptive_visit_budget(cfg), 8960);
+  EXPECT_EQ(fixed_length_for_budget(cfg), 35);  // ceil(8960 / 256)
+}
+
+TEST(AdaptiveVisitBudget, Figure4Accounting) {
+  // Figure 4: lambda = L/2 and rho = 0.5 matches a fixed-length search of
+  // length L on the same track count. With 6 tracks, L=4, lambda=2, min 1:
+  // adaptive visits 6*2 + 3*2 + 2*2 (floor(0.5*3)=1 killed) + 1*2 = 24 =
+  // fixed 6*4 = 24.
+  AdaptiveStopConfig cfg;
+  cfg.initial_tracks = 6;
+  cfg.window = 2;
+  cfg.elimination = 0.5;
+  cfg.min_tracks = 1;
+  EXPECT_EQ(adaptive_visit_budget(cfg), 24);
+  EXPECT_EQ(fixed_length_for_budget(cfg), 4);
+}
+
+TEST(AdaptiveVisitBudget, DegenerateSingleTrack) {
+  AdaptiveStopConfig cfg;
+  cfg.initial_tracks = 1;
+  cfg.min_tracks = 1;
+  cfg.window = 7;
+  EXPECT_EQ(adaptive_visit_budget(cfg), 7);
+  EXPECT_EQ(fixed_length_for_budget(cfg), 7);
+}
+
+TEST(AdaptiveVisitBudget, ZeroEliminationTerminates) {
+  AdaptiveStopConfig cfg;
+  cfg.initial_tracks = 10;
+  cfg.min_tracks = 2;
+  cfg.elimination = 0.0;  // floor(0) killed -> loop must still stop
+  cfg.window = 5;
+  EXPECT_EQ(adaptive_visit_budget(cfg), 50);
+}
+
+}  // namespace
+}  // namespace harl

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "bandit/sw_ucb.hpp"
+#include "util/rng.hpp"
+
+namespace harl {
+namespace {
+
+TEST(SwUcb, ExploresAllArmsFirst) {
+  SwUcb bandit(4);
+  for (int expected = 0; expected < 4; ++expected) {
+    int a = bandit.select();
+    EXPECT_EQ(a, expected);
+    bandit.update(a, 0.1);
+  }
+}
+
+TEST(SwUcb, ConvergesToBestArmOnStationaryRewards) {
+  SwUcbConfig cfg;
+  cfg.c = 0.25;
+  cfg.window = 256;
+  SwUcb bandit(3, cfg);
+  Rng rng(1);
+  std::vector<double> means = {0.2, 0.8, 0.5};
+  std::vector<int> pulls(3, 0);
+  for (int t = 0; t < 2000; ++t) {
+    int a = bandit.select();
+    ++pulls[static_cast<std::size_t>(a)];
+    bandit.update(a, means[static_cast<std::size_t>(a)] + rng.next_normal(0, 0.05));
+  }
+  EXPECT_GT(pulls[1], pulls[0] * 4);
+  EXPECT_GT(pulls[1], pulls[2] * 2);
+}
+
+TEST(SwUcb, AdaptsToNonStationarySwitch) {
+  // Arm 0 is best for the first phase, then arm 1 becomes best: the sliding
+  // window must forget the stale phase (the whole point of SW-UCB vs UCB).
+  SwUcbConfig cfg;
+  cfg.c = 0.25;
+  cfg.window = 100;
+  SwUcb bandit(2, cfg);
+  Rng rng(2);
+  auto reward = [&](int arm, int t) {
+    double mean = (t < 1000) == (arm == 0) ? 0.9 : 0.1;
+    return mean + rng.next_normal(0, 0.05);
+  };
+  int late_pulls_arm1 = 0;
+  for (int t = 0; t < 2000; ++t) {
+    int a = bandit.select();
+    bandit.update(a, reward(a, t));
+    if (t >= 1800 && a == 1) ++late_pulls_arm1;
+  }
+  EXPECT_GT(late_pulls_arm1, 150);  // arm 1 dominates the tail
+}
+
+TEST(SwUcb, WindowCountsAndEviction) {
+  SwUcbConfig cfg;
+  cfg.window = 4;
+  SwUcb bandit(2, cfg);
+  bandit.update(0, 1.0);
+  bandit.update(0, 1.0);
+  bandit.update(1, 0.0);
+  bandit.update(1, 0.0);
+  EXPECT_EQ(bandit.window_count(0), 2);
+  EXPECT_EQ(bandit.window_count(1), 2);
+  // Two more pulls of arm 1 evict arm 0's entries.
+  bandit.update(1, 0.0);
+  bandit.update(1, 0.0);
+  EXPECT_EQ(bandit.window_count(0), 0);
+  EXPECT_EQ(bandit.window_count(1), 4);
+  EXPECT_EQ(bandit.lifetime_count(0), 2);
+  EXPECT_EQ(bandit.lifetime_count(1), 4);
+  EXPECT_EQ(bandit.total_pulls(), 6);
+}
+
+TEST(SwUcb, QValueIsWindowedAverage) {
+  SwUcbConfig cfg;
+  cfg.window = 3;
+  SwUcb bandit(1, cfg);
+  bandit.update(0, 1.0);
+  bandit.update(0, 2.0);
+  bandit.update(0, 3.0);
+  EXPECT_DOUBLE_EQ(bandit.q_value(0), 2.0);
+  bandit.update(0, 6.0);  // evicts the 1.0
+  EXPECT_NEAR(bandit.q_value(0), (2.0 + 3.0 + 6.0) / 3.0, 1e-12);
+}
+
+TEST(SwUcb, UcbScoreFormula) {
+  SwUcbConfig cfg;
+  cfg.c = 0.5;
+  cfg.window = 100;
+  SwUcb bandit(2, cfg);
+  EXPECT_TRUE(std::isinf(bandit.ucb_score(0)));
+  for (int i = 0; i < 10; ++i) bandit.update(0, 0.4);
+  // Q = 0.4, bonus = 0.5 * sqrt(ln(min(10, 100)) / 10).
+  double expect = 0.4 + 0.5 * std::sqrt(std::log(10.0) / 10.0);
+  EXPECT_NEAR(bandit.ucb_score(0), expect, 1e-12);
+}
+
+TEST(SwUcb, ExplorationBonusRevisitsNeglectedArms) {
+  // Even with a worse mean, a neglected arm's bonus grows relative to the
+  // exploited arm, so it keeps being sampled occasionally.
+  SwUcbConfig cfg;
+  cfg.c = 1.0;
+  cfg.window = 64;
+  SwUcb bandit(2, cfg);
+  Rng rng(3);
+  int pulls_bad = 0;
+  for (int t = 0; t < 500; ++t) {
+    int a = bandit.select();
+    if (a == 1) ++pulls_bad;
+    bandit.update(a, a == 0 ? 0.8 : 0.6);
+  }
+  EXPECT_GT(pulls_bad, 25);   // not starved
+  EXPECT_LT(pulls_bad, 250);  // but clearly the minority
+}
+
+TEST(SwUcb, SingleArmAlwaysSelected) {
+  SwUcb bandit(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(bandit.select(), 0);
+    bandit.update(0, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace harl

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "hwsim/simulator.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+struct CostModelFixture : ::testing::Test {
+  CostModelFixture()
+      : hw([] {
+          HardwareConfig h = HardwareConfig::xeon_6226r();
+          h.noise_sigma = 0;
+          return h;
+        }()),
+        sim(hw),
+        model(&hw),
+        graph(make_gemm(512, 512, 512)),
+        sketches(generate_sketches(graph)),
+        rng(11) {}
+
+  std::pair<std::vector<Schedule>, std::vector<double>> sample(int n) {
+    std::vector<Schedule> ss;
+    std::vector<double> ts;
+    for (int i = 0; i < n; ++i) {
+      Schedule s = random_schedule(sketches[static_cast<std::size_t>(i % 3)],
+                                   hw.num_unroll_options(), rng);
+      ts.push_back(sim.simulate_ms(s));
+      ss.push_back(std::move(s));
+    }
+    return {ss, ts};
+  }
+
+  HardwareConfig hw;
+  CostSimulator sim;
+  XgbCostModel model;
+  Subgraph graph;
+  std::vector<Sketch> sketches;
+  Rng rng;
+};
+
+TEST_F(CostModelFixture, UntrainedReturnsNeutralPrior) {
+  auto [ss, ts] = sample(3);
+  EXPECT_FALSE(model.trained());
+  EXPECT_DOUBLE_EQ(model.predict(ss[0]), 0.5);
+  auto batch = model.predict_batch(ss);
+  for (double v : batch) EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST_F(CostModelFixture, TracksBestTime) {
+  auto [ss, ts] = sample(20);
+  model.update(ss, ts);
+  double expect = *std::min_element(ts.begin(), ts.end());
+  EXPECT_DOUBLE_EQ(model.best_time_ms(), expect);
+  EXPECT_EQ(model.num_samples(), 20u);
+  EXPECT_TRUE(model.trained());
+}
+
+TEST_F(CostModelFixture, PredictionsAreBoundedScores) {
+  auto [ss, ts] = sample(100);
+  model.update(ss, ts);
+  auto [fresh, fresh_ts] = sample(50);
+  for (const Schedule& s : fresh) {
+    double p = model.predict(s);
+    ASSERT_GE(p, XgbCostModel::kMinScore);
+    ASSERT_LE(p, 1.5);
+  }
+}
+
+TEST_F(CostModelFixture, RanksFasterSchedulesHigher) {
+  auto [ss, ts] = sample(300);
+  model.update(ss, ts);
+  auto [fresh, fresh_ts] = sample(100);
+  auto pred = model.predict_batch(fresh);
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    for (std::size_t j = i + 1; j < fresh.size(); ++j) {
+      ++total;
+      concordant += ((fresh_ts[i] < fresh_ts[j]) == (pred[i] > pred[j]));
+    }
+  }
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.75);
+}
+
+TEST_F(CostModelFixture, IncrementalUpdatesImproveRanking) {
+  auto eval = [&] {
+    auto [fresh, fresh_ts] = sample(80);
+    auto pred = model.predict_batch(fresh);
+    int conc = 0, total = 0;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      for (std::size_t j = i + 1; j < fresh.size(); ++j) {
+        ++total;
+        conc += ((fresh_ts[i] < fresh_ts[j]) == (pred[i] > pred[j]));
+      }
+    }
+    return static_cast<double>(conc) / total;
+  };
+  auto [s1, t1] = sample(30);
+  model.update(s1, t1);
+  double early = eval();
+  for (int round = 0; round < 6; ++round) {
+    auto [s2, t2] = sample(80);
+    model.update(s2, t2);
+  }
+  double late = eval();
+  EXPECT_GT(late, early - 0.05);  // never collapses
+  EXPECT_GT(late, 0.80);          // and ends up strong
+}
+
+TEST_F(CostModelFixture, IgnoresNonPositiveTimes) {
+  auto [ss, ts] = sample(5);
+  ts[2] = -1.0;
+  model.update(ss, ts);
+  EXPECT_EQ(model.num_samples(), 4u);
+}
+
+TEST_F(CostModelFixture, SampleCapBoundsMemory) {
+  // Push more than kMaxSamples and confirm the window slides.
+  for (int round = 0; round < 6; ++round) {
+    auto [ss, ts] = sample(2000);
+    model.update(ss, ts);
+  }
+  EXPECT_LE(model.num_samples(), XgbCostModel::kMaxSamples);
+}
+
+}  // namespace
+}  // namespace harl

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "sched/loop_nest.hpp"
+#include "workloads/operators.hpp"
+#include "workloads/suites.hpp"
+
+namespace harl {
+namespace {
+
+const std::vector<int> kUnrolls = {0, 16, 64, 512};
+
+TEST(LoopNest, GemmRendersTiledStructure) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(1);
+  Schedule s = random_schedule(sketches[0], 4, rng);
+  s.stages[0].parallel_depth = 1;
+  std::string text = render_loop_nest(s, kUnrolls);
+  EXPECT_NE(text.find("sketch T"), std::string::npos);
+  EXPECT_NE(text.find("for "), std::string::npos);
+  EXPECT_NE(text.find("vectorize"), std::string::npos);
+  EXPECT_NE(text.find("compute("), std::string::npos);
+}
+
+TEST(LoopNest, ParallelAnnotationFollowsDepth) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(2);
+  Schedule s = random_schedule(sketches[0], 4, rng);
+  // Force a non-trivial outer tile so the parallel loop is rendered.
+  s.stages[0].tiles[0].factors = {8, 1, 1, 8};
+  s.stages[0].parallel_depth = 0;
+  EXPECT_EQ(render_loop_nest(s, kUnrolls).find("parallel for"), std::string::npos);
+  s.stages[0].parallel_depth = 1;
+  EXPECT_NE(render_loop_nest(s, kUnrolls).find("parallel for"), std::string::npos);
+}
+
+TEST(LoopNest, CacheWriteSketchShowsBufferAndFlush) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(3);
+  Schedule s = random_schedule(sketches[1], 4, rng);  // T+CW
+  s.stages[0].compute_at = 2;
+  // Make every level non-trivial so the buffer placement is visible.
+  s.stages[0].tiles[0].factors = {2, 2, 4, 4};
+  s.stages[0].tiles[1].factors = {2, 2, 2, 8};
+  std::string text = render_loop_nest(s, kUnrolls);
+  EXPECT_NE(text.find("cache_write_buffer"), std::string::npos);
+  EXPECT_NE(text.find("flush("), std::string::npos);
+}
+
+TEST(LoopNest, RfactorSketchShowsMerge) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(4);
+  Schedule s = random_schedule(sketches[2], 4, rng);  // T+RF
+  std::string text = render_loop_nest(s, kUnrolls);
+  EXPECT_NE(text.find("merge_rfactor_partials"), std::string::npos);
+}
+
+TEST(LoopNest, FusedConsumerAppearsAsEpilogue) {
+  Subgraph g = make_gemm_act(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(5);
+  Schedule s = random_schedule(sketches[0], 4, rng);
+  std::string text = render_loop_nest(s, kUnrolls);
+  EXPECT_NE(text.find("epilogue("), std::string::npos);
+}
+
+TEST(LoopNest, InlinedStageIsAnnotatedOnly) {
+  // Softmax has no inlined stage, so build one: elementwise feeding a reduce.
+  Subgraph g = make_softmax(64, 32);
+  auto sketches = generate_sketches(g);
+  Rng rng(6);
+  Schedule s = random_schedule(sketches[0], 4, rng);
+  std::string text = render_loop_nest(s, kUnrolls);
+  // Both tiled stages of the softmax render their own nests.
+  EXPECT_NE(text.find("softmax.reduce"), std::string::npos);
+  EXPECT_NE(text.find("softmax.norm"), std::string::npos);
+}
+
+TEST(LoopNest, AllTable6SketchesRenderNonEmpty) {
+  Rng rng(7);
+  for (const OperatorCase& c : table6_all(1)) {
+    for (const Sketch& sk : generate_sketches(c.graph)) {
+      Schedule s = random_schedule(sk, 4, rng);
+      std::string text = render_loop_nest(s, kUnrolls);
+      EXPECT_GT(text.size(), 40u) << c.suite << c.config << " " << sk.tag;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harl

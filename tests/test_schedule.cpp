@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/actions.hpp"
+#include "sched/schedule.hpp"
+#include "workloads/operators.hpp"
+#include "workloads/suites.hpp"
+
+namespace harl {
+namespace {
+
+constexpr int kUnrollOptions = 4;
+
+TEST(Schedule, RandomScheduleIsValid) {
+  Subgraph g = make_gemm(128, 64, 32);
+  auto sketches = generate_sketches(g);
+  Rng rng(1);
+  for (const Sketch& sk : sketches) {
+    for (int i = 0; i < 50; ++i) {
+      Schedule s = random_schedule(sk, kUnrollOptions, rng);
+      EXPECT_EQ(validate_schedule(s, kUnrollOptions), "");
+    }
+  }
+}
+
+TEST(Schedule, TiledStageLevelCounts) {
+  Subgraph g = make_gemm(128, 64, 32);
+  auto sketches = generate_sketches(g);
+  Rng rng(2);
+  Schedule s = random_schedule(sketches[0], kUnrollOptions, rng);
+  ASSERT_EQ(s.stages[0].tiles.size(), 3u);
+  EXPECT_EQ(s.stages[0].tiles[0].levels(), kSpatialTileLevels);   // i
+  EXPECT_EQ(s.stages[0].tiles[1].levels(), kSpatialTileLevels);   // j
+  EXPECT_EQ(s.stages[0].tiles[2].levels(), kReductionTileLevels); // k
+}
+
+TEST(Schedule, SimpleStageLevelCounts) {
+  Subgraph g = make_elementwise(4096, 1.0);
+  auto sketches = generate_sketches(g);
+  Rng rng(3);
+  Schedule s = random_schedule(sketches[0], kUnrollOptions, rng);
+  ASSERT_EQ(s.stages[0].tiles.size(), 1u);
+  EXPECT_EQ(s.stages[0].tiles[0].levels(), 2);  // parallel chunking only
+}
+
+TEST(Schedule, FusedConsumerHasNoTiles) {
+  Subgraph g = make_gemm_act(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(4);
+  Schedule s = random_schedule(sketches[0], kUnrollOptions, rng);
+  EXPECT_TRUE(s.stages[1].tiles.empty());
+  EXPECT_EQ(validate_schedule(s, kUnrollOptions), "");
+}
+
+TEST(Schedule, FingerprintStableAndSensitive) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(5);
+  Schedule a = random_schedule(sketches[0], kUnrollOptions, rng);
+  Schedule b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.stages[0].unroll_index = (b.stages[0].unroll_index + 1) % kUnrollOptions;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Schedule, FingerprintsRarelyCollide) {
+  Subgraph g = make_gemm(128, 128, 128);
+  auto sketches = generate_sketches(g);
+  Rng rng(6);
+  std::set<std::uint64_t> fps;
+  std::set<std::string> descs;
+  for (int i = 0; i < 500; ++i) {
+    Schedule s = random_schedule(sketches[0], kUnrollOptions, rng);
+    fps.insert(s.fingerprint());
+    descs.insert(s.to_string());
+  }
+  EXPECT_EQ(fps.size(), descs.size());
+}
+
+TEST(Schedule, ValidateCatchesBrokenProduct) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(7);
+  Schedule s = random_schedule(sketches[0], kUnrollOptions, rng);
+  s.stages[0].tiles[0].factors[0] *= 2;  // break the product invariant
+  EXPECT_NE(validate_schedule(s, kUnrollOptions), "");
+}
+
+TEST(Schedule, ValidateCatchesKnobOutOfRange) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(8);
+  Schedule s = random_schedule(sketches[0], kUnrollOptions, rng);
+  s.stages[0].unroll_index = kUnrollOptions;  // one past the end
+  EXPECT_NE(validate_schedule(s, kUnrollOptions), "");
+  s.stages[0].unroll_index = 0;
+  s.stages[0].parallel_depth = 99;
+  EXPECT_NE(validate_schedule(s, kUnrollOptions), "");
+}
+
+TEST(Schedule, ToStringMentionsSketchAndTiles) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  Rng rng(9);
+  Schedule s = random_schedule(sketches[1], kUnrollOptions, rng);
+  std::string d = s.to_string();
+  EXPECT_NE(d.find("T+CW"), std::string::npos);
+  EXPECT_NE(d.find("tiles:"), std::string::npos);
+  EXPECT_NE(d.find("cache_write"), std::string::npos);
+}
+
+/// Property sweep over the whole Table 6 workload zoo: every sketch of every
+/// operator yields valid random schedules, and the schedules stay valid
+/// under long random action sequences (the MDP's state space is closed).
+class ScheduleClosureProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(ScheduleClosureProperty, RandomActionsPreserveValidity) {
+  auto [case_idx, seed] = GetParam();
+  auto cases = table6_all(1);
+  ASSERT_LT(static_cast<std::size_t>(case_idx), cases.size());
+  const Subgraph& g = cases[static_cast<std::size_t>(case_idx)].graph;
+  auto sketches = generate_sketches(g);
+  Rng rng(seed);
+  for (const Sketch& sk : sketches) {
+    ActionSpace space(sk, kUnrollOptions);
+    Schedule s = random_schedule(sk, kUnrollOptions, rng);
+    ASSERT_EQ(validate_schedule(s, kUnrollOptions), "") << g.name();
+    for (int step = 0; step < 40; ++step) {
+      JointAction a{};
+      a[kHeadTile] = rng.next_int(0, space.num_tile_actions() - 1);
+      a[kHeadComputeAt] = rng.next_int(0, 2);
+      a[kHeadParallel] = rng.next_int(0, 2);
+      a[kHeadUnroll] = rng.next_int(0, 2);
+      space.apply(&s, a);
+      ASSERT_EQ(validate_schedule(s, kUnrollOptions), "")
+          << g.name() << " sketch " << sk.tag << " step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table6, ScheduleClosureProperty,
+    ::testing::Combine(::testing::Range(0, 28), ::testing::Values(11u, 29u)));
+
+}  // namespace
+}  // namespace harl

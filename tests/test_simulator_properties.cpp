@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hwsim/simulator.hpp"
+#include "sched/actions.hpp"
+#include "workloads/suites.hpp"
+
+namespace harl {
+namespace {
+
+/// Property sweeps of the analytical hardware model across the full Table 6
+/// workload zoo: the simulator must be a *well-behaved* optimization
+/// landscape — positive, finite, deterministic, and responsive to the knobs
+/// the search tunes — for every operator family and sketch.
+class SimulatorProperty : public ::testing::TestWithParam<int> {
+ protected:
+  SimulatorProperty()
+      : hw([] {
+          HardwareConfig h = HardwareConfig::xeon_6226r();
+          h.noise_sigma = 0;
+          return h;
+        }()),
+        sim(hw) {}
+
+  const Subgraph& graph() {
+    static std::vector<OperatorCase> cases = table6_all(1);
+    return cases[static_cast<std::size_t>(GetParam())].graph;
+  }
+
+  HardwareConfig hw;
+  CostSimulator sim;
+};
+
+TEST_P(SimulatorProperty, PositiveFiniteDeterministic) {
+  auto sketches = generate_sketches(graph());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 1);
+  for (const Sketch& sk : sketches) {
+    for (int i = 0; i < 10; ++i) {
+      Schedule s = random_schedule(sk, hw.num_unroll_options(), rng);
+      double a = sim.simulate_ms(s);
+      double b = sim.simulate_ms(s);
+      ASSERT_GT(a, 0) << graph().name();
+      ASSERT_TRUE(std::isfinite(a));
+      ASSERT_DOUBLE_EQ(a, b);
+    }
+  }
+}
+
+TEST_P(SimulatorProperty, TimeLowerBoundedByIdealRoofline) {
+  // No schedule can beat the machine's peak compute throughput.
+  auto sketches = generate_sketches(graph());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 101);
+  double ideal_ms =
+      graph().total_flops() / (hw.core_flops() * hw.num_cores) * 1e3;
+  for (int i = 0; i < 60; ++i) {
+    const Sketch& sk = sketches[rng.pick_index(sketches.size())];
+    Schedule s = random_schedule(sk, hw.num_unroll_options(), rng);
+    ASSERT_GE(sim.simulate_ms(s), ideal_ms * 0.999) << graph().name();
+  }
+}
+
+TEST_P(SimulatorProperty, KnobsMoveTheLandscape) {
+  // At least one single-knob mutation must change the simulated time:
+  // a flat landscape would make every search method equivalent.
+  auto sketches = generate_sketches(graph());
+  ActionSpace space(sketches[0], hw.num_unroll_options());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 202);
+  Schedule s = random_schedule(sketches[0], hw.num_unroll_options(), rng);
+  double t0 = sim.simulate_ms(s);
+  bool moved = false;
+  for (int i = 0; i < 20 && !moved; ++i) {
+    Schedule next = s;
+    if (!space.mutate(&next, rng)) continue;
+    moved = std::abs(sim.simulate_ms(next) - t0) > 1e-12;
+  }
+  EXPECT_TRUE(moved) << graph().name();
+}
+
+TEST_P(SimulatorProperty, MoreCoresNeverSlowerWithFreeParallelism) {
+  // With zero fork/join cost, doubling the core count cannot hurt any
+  // schedule (speedup and bandwidth models are monotone in cores).
+  HardwareConfig base = hw;
+  base.fork_join_us = 0;
+  HardwareConfig doubled = base;
+  doubled.num_cores *= 2;
+  CostSimulator sim1(base), sim2(doubled);
+  auto sketches = generate_sketches(graph());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 303);
+  for (int i = 0; i < 30; ++i) {
+    const Sketch& sk = sketches[rng.pick_index(sketches.size())];
+    Schedule s = random_schedule(sk, hw.num_unroll_options(), rng);
+    ASSERT_LE(sim2.simulate_ms(s), sim1.simulate_ms(s) * (1 + 1e-9))
+        << graph().name();
+  }
+}
+
+TEST_P(SimulatorProperty, FasterMemoryNeverSlower) {
+  HardwareConfig slow = hw;
+  HardwareConfig fast = hw;
+  for (CacheLevel& l : fast.levels) l.serve_bandwidth_gbps *= 4;
+  CostSimulator sim_slow(slow), sim_fast(fast);
+  auto sketches = generate_sketches(graph());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 404);
+  for (int i = 0; i < 30; ++i) {
+    const Sketch& sk = sketches[rng.pick_index(sketches.size())];
+    Schedule s = random_schedule(sk, hw.num_unroll_options(), rng);
+    ASSERT_LE(sim_fast.simulate_ms(s), sim_slow.simulate_ms(s) * (1 + 1e-9))
+        << graph().name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table6, SimulatorProperty, ::testing::Range(0, 28));
+
+}  // namespace
+}  // namespace harl

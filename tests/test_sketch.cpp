@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sched/sketch.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+TEST(SketchGen, GemmHasThreeSketches) {
+  // Section 4.1: "For a matrix multiplication subgraph, the number of
+  // sketches is 3" (tiled / +cache-write / +rfactor).
+  Subgraph g = make_gemm(1024, 1024, 1024);
+  auto sketches = generate_sketches(g);
+  ASSERT_EQ(sketches.size(), 3u);
+  EXPECT_EQ(sketches[0].tag, "T");
+  EXPECT_EQ(sketches[1].tag, "T+CW");
+  EXPECT_EQ(sketches[2].tag, "T+RF");
+  for (const Sketch& sk : sketches) {
+    EXPECT_EQ(sk.graph, &g);
+    EXPECT_EQ(sk.plans.size(), 1u);
+    EXPECT_EQ(sk.plans[0].structure, StageStructure::kTiled);
+  }
+  EXPECT_TRUE(sketches[1].plans[0].cache_write);
+  EXPECT_TRUE(sketches[2].plans[0].rfactor);
+}
+
+TEST(SketchGen, SketchIdsAreSequential) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  for (std::size_t i = 0; i < sketches.size(); ++i) {
+    EXPECT_EQ(sketches[i].sketch_id, static_cast<int>(i));
+  }
+}
+
+TEST(SketchGen, ElementwiseHasSingleSimpleSketch) {
+  Subgraph g = make_elementwise(4096, 2.0);
+  auto sketches = generate_sketches(g);
+  ASSERT_EQ(sketches.size(), 1u);
+  EXPECT_EQ(sketches[0].plans[0].structure, StageStructure::kSimple);
+  EXPECT_FALSE(sketches[0].plans[0].cache_write);
+  EXPECT_EQ(sketches[0].primary_compute_at_stage, -1);
+}
+
+TEST(SketchGen, GemmActFusesConsumer) {
+  Subgraph g = make_gemm_act(128, 256, 64);
+  auto sketches = generate_sketches(g);
+  ASSERT_GE(sketches.size(), 2u);
+  for (const Sketch& sk : sketches) {
+    // Rule "Tiling with Fusion": the elementwise output stage rides the
+    // tiled GEMM's loop nest and exposes the fusion level as a knob.
+    EXPECT_EQ(sk.plan(1).structure, StageStructure::kFusedConsumer);
+    EXPECT_TRUE(sk.plan(1).has_compute_at_knob);
+    EXPECT_EQ(sk.plan(0).structure, StageStructure::kTiled);
+  }
+}
+
+TEST(SketchGen, SmallReductionSkipsRfactor) {
+  // Depthwise 3x3: reduction of 9 points < 16, no rfactor variant.
+  Subgraph g = make_depthwise_conv2d(1, 14, 14, 32, 3, 1, 1);
+  auto sketches = generate_sketches(g);
+  for (const Sketch& sk : sketches) EXPECT_FALSE(sk.plan(0).rfactor);
+  EXPECT_EQ(sketches.size(), 2u);  // T and T+CW only
+}
+
+TEST(SketchGen, SoftmaxMultiStagePlans) {
+  Subgraph g = make_softmax(256, 128);
+  auto sketches = generate_sketches(g);
+  ASSERT_FALSE(sketches.empty());
+  for (const Sketch& sk : sketches) {
+    // The reduce stage feeds the norm stage: tiled with a compute-at knob.
+    EXPECT_EQ(sk.plan(0).structure, StageStructure::kTiled);
+    EXPECT_TRUE(sk.plan(0).has_compute_at_knob);
+    // The norm stage reads a broadcast input: data reuse -> tiled.
+    EXPECT_EQ(sk.plan(1).structure, StageStructure::kTiled);
+  }
+}
+
+TEST(SketchGen, Conv2dReluFusesLikeGemmAct) {
+  Subgraph g = make_conv2d_relu(1, 14, 14, 64, 64, 3, 1, 1);
+  auto sketches = generate_sketches(g);
+  ASSERT_FALSE(sketches.empty());
+  EXPECT_EQ(sketches[0].plan(1).structure, StageStructure::kFusedConsumer);
+}
+
+TEST(SketchGen, PrimaryComputeAtPrefersAnchorKnob) {
+  Subgraph g = make_gemm(64, 64, 64);
+  auto sketches = generate_sketches(g);
+  // Plain tiled GEMM has no knob; cache-write variant exposes the anchor's.
+  EXPECT_EQ(sketches[0].primary_compute_at_stage, -1);
+  EXPECT_EQ(sketches[1].primary_compute_at_stage, 0);
+}
+
+TEST(SketchGen, StructureNames) {
+  EXPECT_STREQ(stage_structure_name(StageStructure::kSimple), "simple");
+  EXPECT_STREQ(stage_structure_name(StageStructure::kInlined), "inlined");
+  EXPECT_STREQ(stage_structure_name(StageStructure::kTiled), "tiled");
+  EXPECT_STREQ(stage_structure_name(StageStructure::kFusedConsumer), "fused");
+}
+
+}  // namespace
+}  // namespace harl

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/presets.hpp"
+#include "search/task_scheduler.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+Network tiny_network() {
+  Network net;
+  net.name = "tiny";
+  net.subgraphs.push_back(make_gemm(128, 128, 128, 1, "g_big", 4.0));
+  net.subgraphs.push_back(make_gemm(64, 64, 64, 1, "g_small", 1.0));
+  net.subgraphs.push_back(make_elementwise(1 << 14, 2.0, "ew", 2.0));
+  return net;
+}
+
+SearchOptions tiny_options(PolicyKind kind) {
+  SearchOptions opts = quick_options(kind, 5);
+  opts.harl.stop.initial_tracks = 8;
+  opts.harl.stop.min_tracks = 2;
+  opts.harl.stop.window = 4;
+  opts.harl.ppo.minibatch_size = 16;
+  opts.harl.ppo.update_epochs = 1;
+  opts.ansor.population = 24;
+  opts.ansor.generations = 2;
+  opts.measures_per_round = 5;
+  return opts;
+}
+
+struct SchedulerFixture : ::testing::Test {
+  SchedulerFixture()
+      : net(tiny_network()),
+        hw([] {
+          HardwareConfig h = HardwareConfig::xeon_6226r();
+          h.noise_sigma = 0;
+          return h;
+        }()),
+        sim(hw),
+        measurer(&sim, 9) {}
+
+  Network net;
+  HardwareConfig hw;
+  CostSimulator sim;
+  Measurer measurer;
+};
+
+TEST_F(SchedulerFixture, WarmupToursEveryTask) {
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kHarl));
+  sched.run(measurer, 15);  // exactly 3 rounds of 5
+  for (int i = 0; i < sched.num_tasks(); ++i) {
+    EXPECT_EQ(sched.task(i).rounds(), 1) << "task " << i;
+  }
+  EXPECT_TRUE(std::isfinite(sched.estimated_latency_ms()));
+}
+
+TEST_F(SchedulerFixture, LatencyInfiniteBeforeFullWarmup) {
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kHarl));
+  sched.run(measurer, 5);  // only one task tuned
+  EXPECT_TRUE(std::isinf(sched.estimated_latency_ms()));
+}
+
+TEST_F(SchedulerFixture, BudgetIsRespected) {
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kAnsor));
+  sched.run(measurer, 60);
+  EXPECT_GE(measurer.trials_used(), 60);
+  EXPECT_LT(measurer.trials_used(), 60 + 10);  // at most one round overshoot
+  auto alloc = sched.task_allocations();
+  std::int64_t total = 0;
+  for (std::int64_t a : alloc) total += a;
+  EXPECT_EQ(total, measurer.trials_used());
+}
+
+TEST_F(SchedulerFixture, GradientIsFiniteAfterWarmupAndNegative) {
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kAnsor));
+  sched.run(measurer, 30);
+  for (int i = 0; i < sched.num_tasks(); ++i) {
+    double g = sched.task_gradient(i);
+    EXPECT_TRUE(std::isfinite(g)) << i;
+    EXPECT_LE(g, 0.0) << i;  // both Eq. 3 terms are non-positive here
+  }
+}
+
+TEST_F(SchedulerFixture, GradientScalesWithWeight) {
+  // Duplicate tasks with different weights: heavier weight => more negative
+  // gradient (chain term |df/dg| = w).
+  Network dup;
+  dup.name = "dup";
+  dup.subgraphs.push_back(make_gemm(96, 96, 96, 1, "a", 1.0));
+  dup.subgraphs.push_back(make_gemm(96, 96, 96, 1, "b", 8.0));
+  TaskScheduler sched(&dup, &hw, tiny_options(PolicyKind::kAnsor));
+  sched.run(measurer, 20);
+  EXPECT_LT(sched.task_gradient(1), sched.task_gradient(0));
+}
+
+TEST_F(SchedulerFixture, RoundLogTracksSelections) {
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kHarl));
+  sched.run(measurer, 50);
+  const auto& log = sched.round_log();
+  ASSERT_GE(log.size(), 10u);
+  for (const auto& r : log) {
+    EXPECT_GE(r.task, 0);
+    EXPECT_LT(r.task, sched.num_tasks());
+    EXPECT_GT(r.trials_after, 0);
+  }
+  // Cumulative trials are non-decreasing.
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_GE(log[i].trials_after, log[i - 1].trials_after);
+  }
+}
+
+TEST_F(SchedulerFixture, MabAllocatesBeyondWarmup) {
+  SearchOptions opts = tiny_options(PolicyKind::kHarl);
+  TaskScheduler sched(&net, &hw, opts);
+  sched.run(measurer, 150);
+  auto alloc = sched.task_allocations();
+  for (std::int64_t a : alloc) EXPECT_GE(a, 5);  // everyone got warmup+
+  EXPECT_EQ(opts.effective_task_select(), TaskSelectKind::kSwUcbMab);
+}
+
+TEST_F(SchedulerFixture, GreedySelectDefaultsForAnsor) {
+  SearchOptions opts = tiny_options(PolicyKind::kAnsor);
+  EXPECT_EQ(opts.effective_task_select(), TaskSelectKind::kGreedyGradient);
+  opts.task_select = TaskSelectKind::kRoundRobin;
+  EXPECT_EQ(opts.effective_task_select(), TaskSelectKind::kRoundRobin);
+}
+
+TEST_F(SchedulerFixture, RoundRobinBalancesAllocations) {
+  SearchOptions opts = tiny_options(PolicyKind::kRandom);
+  opts.task_select = TaskSelectKind::kRoundRobin;
+  TaskScheduler sched(&net, &hw, opts);
+  sched.run(measurer, 90);
+  auto alloc = sched.task_allocations();
+  EXPECT_EQ(alloc[0], alloc[1]);
+  EXPECT_EQ(alloc[1], alloc[2]);
+}
+
+TEST(PolicyKindNames, AllDistinct) {
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kHarl), "HARL");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kHarlFixedLength), "Hierarchical-RL");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kAnsor), "Ansor");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kFlextensor), "Flextensor");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kAutoTvmSa), "AutoTVM-SA");
+  EXPECT_STREQ(policy_kind_name(PolicyKind::kRandom), "Random");
+}
+
+}  // namespace
+}  // namespace harl

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/networks.hpp"
+#include "workloads/operators.hpp"
+#include "workloads/suites.hpp"
+
+namespace harl {
+namespace {
+
+TEST(Suites, SevenSuitesInPaperOrder) {
+  const auto& names = table6_suite_names();
+  ASSERT_EQ(names.size(), 7u);
+  EXPECT_EQ(names[0], "GEMM-S");
+  EXPECT_EQ(names[2], "GEMM-L");
+  EXPECT_EQ(names[6], "T2D");
+}
+
+TEST(Suites, FourConfigsEach) {
+  for (const std::string& suite : table6_suite_names()) {
+    auto cases = table6_suite(suite, 1);
+    EXPECT_EQ(cases.size(), 4u) << suite;
+    for (const OperatorCase& c : cases) {
+      EXPECT_EQ(c.suite, suite);
+      EXPECT_FALSE(c.config.empty());
+    }
+  }
+}
+
+TEST(Suites, GemmLHeadlineShape) {
+  auto cases = table6_suite("GEMM-L", 1);
+  // First configuration is the paper's 1024x1024x1024 headline GEMM.
+  const TensorOp& op = cases[0].graph.stage(0).op;
+  EXPECT_EQ(op.axes[0].extent, 1024);
+  EXPECT_EQ(op.axes[1].extent, 1024);
+  EXPECT_EQ(op.axes[2].extent, 1024);
+  EXPECT_DOUBLE_EQ(op.total_flops(), 2.0 * 1024 * 1024 * 1024);
+}
+
+TEST(Suites, BatchScalesIterationSpace) {
+  auto b1 = table6_suite("C2D", 1);
+  auto b16 = table6_suite("C2D", 16);
+  for (std::size_t i = 0; i < b1.size(); ++i) {
+    EXPECT_NEAR(b16[i].graph.total_flops() / b1[i].graph.total_flops(), 16.0, 1e-9)
+        << b1[i].config;
+  }
+}
+
+TEST(Suites, ConvOutputDimsMatchFormula) {
+  // C2D (224,224,3,64,k7,s2,p3): Ho = (224 + 6 - 7)/2 + 1 = 112.
+  auto cases = table6_suite("C2D", 1);
+  const TensorOp& op = cases[0].graph.stage(0).op;
+  EXPECT_EQ(op.axes[1].extent, 112);
+  EXPECT_EQ(op.axes[2].extent, 112);
+  // T2D (4,4,512,256,k4,s2,p1): Ho = (4-1)*2 - 2 + 4 = 8.
+  auto t2d = table6_suite("T2D", 1);
+  EXPECT_EQ(t2d[0].graph.stage(0).op.axes[1].extent, 8);
+}
+
+TEST(Suites, UniqueNamesAcrossAllCases) {
+  std::set<std::string> names;
+  for (const OperatorCase& c : table6_all(1)) names.insert(c.graph.name());
+  EXPECT_EQ(names.size(), 28u);
+}
+
+TEST(Networks, BertInventoryMatchesTable4) {
+  Network bert = make_bert(1);
+  ASSERT_EQ(bert.subgraphs.size(), 10u);
+  std::set<std::string> names;
+  for (const Subgraph& g : bert.subgraphs) names.insert(g.name());
+  for (const char* expect :
+       {"GEMM-I", "GEMM-II", "GEMM-III", "GEMM-IV", "Softmax", "Batch_GEMM-I",
+        "Batch_GEMM-II", "Element-wise-I", "Element-wise-II", "GEMM+Tanh"}) {
+    EXPECT_TRUE(names.count(expect)) << expect;
+  }
+}
+
+TEST(Networks, BertWeightsAreLayerCounts) {
+  Network bert = make_bert(1);
+  for (const Subgraph& g : bert.subgraphs) {
+    if (g.name() == "GEMM+Tanh") {
+      EXPECT_DOUBLE_EQ(g.weight(), 1.0);  // pooler appears once
+    } else if (g.name() == "Element-wise-I") {
+      EXPECT_DOUBLE_EQ(g.weight(), 24.0);  // two residual adds per layer
+    } else {
+      EXPECT_DOUBLE_EQ(g.weight(), 12.0) << g.name();
+    }
+  }
+}
+
+TEST(Networks, BertGemmsDominateFlops) {
+  // Table 4: the four GEMMs carry ~87% of the execution time; in FLOP terms
+  // they must strongly dominate the batch GEMMs and elementwise subgraphs.
+  Network bert = make_bert(1);
+  double gemm_flops = 0, rest_flops = 0;
+  for (const Subgraph& g : bert.subgraphs) {
+    double wf = g.weight() * g.total_flops();
+    if (g.name().rfind("GEMM-", 0) == 0) gemm_flops += wf;
+    else rest_flops += wf;
+  }
+  EXPECT_GT(gemm_flops, rest_flops * 10);
+}
+
+TEST(Networks, ResNetAndMobileNetCounts) {
+  EXPECT_EQ(make_resnet50(1).subgraphs.size(), 24u);
+  EXPECT_EQ(make_mobilenet_v2(1).subgraphs.size(), 21u);
+}
+
+TEST(Networks, BatchPropagatesToSubgraphs) {
+  Network b1 = make_bert(1);
+  Network b16 = make_bert(16);
+  EXPECT_NEAR(b16.subgraphs[0].total_flops() / b1.subgraphs[0].total_flops(), 16.0,
+              1e-9);
+  EXPECT_EQ(b16.name, "bert_b16");
+}
+
+TEST(Networks, AllSubgraphsValidateAtBothBatchSizes) {
+  for (const std::string& name : network_names()) {
+    for (std::int64_t batch : {1, 16}) {
+      Network net = make_network(name, batch);
+      for (const Subgraph& g : net.subgraphs) {
+        EXPECT_EQ(g.validate(), "") << net.name << "/" << g.name();
+        EXPECT_GT(g.weight(), 0) << g.name();
+      }
+    }
+  }
+}
+
+TEST(Networks, DistinctDominantKindsPresent) {
+  // ResNet-50's inventory mixes convolutions, elementwise, reduce and dense —
+  // exercising the "similar task" grouping of the Eq. 3 gradient.
+  Network net = make_resnet50(1);
+  std::set<OpKind> kinds;
+  for (const Subgraph& g : net.subgraphs) kinds.insert(g.dominant_kind());
+  EXPECT_GE(kinds.size(), 3u);
+}
+
+}  // namespace
+}  // namespace harl
