@@ -1,0 +1,93 @@
+#include "core/fleet.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace harl {
+
+int FleetTuner::add(FleetWorkload workload) {
+  if (workload.name.empty()) workload.name = workload.network.name;
+  workloads_.push_back(std::move(workload));
+  return static_cast<int>(workloads_.size()) - 1;
+}
+
+FleetReport FleetTuner::run() {
+  FleetReport report;
+  const std::size_t n = workloads_.size();
+  report.networks.resize(n);
+  sessions_.clear();
+  sessions_.resize(n);
+  if (n == 0) return report;
+
+  std::size_t fleet_threads = opts_.max_concurrent > 0
+                                  ? static_cast<std::size_t>(opts_.max_concurrent)
+                                  : std::max(1u, std::thread::hardware_concurrency());
+  fleet_threads = std::min(fleet_threads, n);
+
+  auto fleet_t0 = std::chrono::steady_clock::now();
+  std::atomic<std::size_t> next{0};
+  auto tune_one = [&](std::size_t i) {
+    const FleetWorkload& w = workloads_[i];
+    SearchOptions opts = w.options;
+    if (opts.pool == nullptr) opts.pool = opts_.measure_pool;
+    auto t0 = std::chrono::steady_clock::now();
+    // Session construction (sketch generation per subgraph) is part of the
+    // serving cost, so it runs on the fleet thread and counts in wall time.
+    sessions_[i] = std::make_unique<TuningSession>(w.network, w.hardware, opts);
+    sessions_[i]->run(w.trials);
+    auto t1 = std::chrono::steady_clock::now();
+
+    const TuningSession& s = *sessions_[i];
+    FleetNetworkResult& r = report.networks[i];
+    r.name = w.name;
+    r.num_tasks = s.scheduler().num_tasks();
+    r.trials_used = s.measurer().trials_used();
+    r.latency_ms = s.latency_ms();
+    r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.cache_hits = s.measurer().cache().hits();
+    r.rounds = s.scheduler().round_log().size();
+  };
+
+  if (fleet_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) tune_one(i);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(fleet_threads);
+    for (std::size_t t = 0; t < fleet_threads; ++t) {
+      threads.emplace_back([&] {
+        for (;;) {
+          std::size_t i = next.fetch_add(1);
+          if (i >= n) return;
+          tune_one(i);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  auto fleet_t1 = std::chrono::steady_clock::now();
+
+  report.wall_seconds = std::chrono::duration<double>(fleet_t1 - fleet_t0).count();
+  for (const FleetNetworkResult& r : report.networks) {
+    report.total_trials += r.trials_used;
+    report.total_cache_hits += r.cache_hits;
+  }
+  return report;
+}
+
+std::string FleetReport::to_string() const {
+  Table t("fleet tuning report");
+  t.set_header({"network", "tasks", "trials", "cache_hits", "latency_ms", "wall_s"});
+  for (const FleetNetworkResult& r : networks) {
+    t.add(r.name, r.num_tasks, r.trials_used, r.cache_hits, r.latency_ms,
+          r.wall_seconds);
+  }
+  t.add("TOTAL", "", total_trials, total_cache_hits, "", wall_seconds);
+  return t.to_string();
+}
+
+}  // namespace harl

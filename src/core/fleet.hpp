@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tuning.hpp"
+
+namespace harl {
+
+/// One network to tune as part of a fleet run.
+struct FleetWorkload {
+  std::string name;          ///< defaults to the network's name when empty
+  Network network;
+  HardwareConfig hardware;
+  SearchOptions options;     ///< options.pool == nullptr inherits the fleet pool
+  std::int64_t trials = 1000;  ///< measurement-trial budget for this network
+};
+
+/// Per-network outcome of a fleet run.
+struct FleetNetworkResult {
+  std::string name;
+  int num_tasks = 0;
+  std::int64_t trials_used = 0;
+  double latency_ms = 0;        ///< estimated network latency after tuning
+  double wall_seconds = 0;      ///< wall-clock time of this session's tuning
+  std::int64_t cache_hits = 0;  ///< measure-cache hits (deduplicated trials)
+  std::size_t rounds = 0;       ///< completed scheduler rounds
+};
+
+/// Aggregated outcome of `FleetTuner::run`.
+struct FleetReport {
+  std::vector<FleetNetworkResult> networks;
+  double wall_seconds = 0;        ///< end-to-end fleet wall-clock time
+  std::int64_t total_trials = 0;  ///< simulator trials across the fleet
+  std::int64_t total_cache_hits = 0;
+
+  /// Aligned ASCII table, one row per network plus a totals row.
+  std::string to_string() const;
+};
+
+/// Tunes many networks concurrently on one shared worker pool — the
+/// multi-tenant serving scenario where an auto-scheduler instance handles
+/// tuning requests from many models/users at once.
+///
+/// Concurrency has two levels, mirroring the engine's design:
+///   - each workload runs as its own `TuningSession` on a fleet thread
+///     (bounded by `Options::max_concurrent`),
+///   - every session's batched measurement and candidate scoring dispatch
+///     onto the one shared `Options::measure_pool` (caller-participating, so
+///     sessions never deadlock on a small pool).
+///
+/// Results per network are bit-identical to tuning that network alone with
+/// the same options: sessions share threads but no tuning state, and all
+/// determinism is per-(session seed, trial index).
+class FleetTuner {
+ public:
+  struct Options {
+    /// Max sessions tuned at once; 0 = hardware concurrency.
+    int max_concurrent = 0;
+    /// Pool for measurement/scoring inside every session; nullptr = the
+    /// process-wide global pool.  Not owned.
+    ThreadPool* measure_pool = nullptr;
+  };
+
+  FleetTuner() = default;
+  explicit FleetTuner(Options opts) : opts_(opts) {}
+
+  /// Queues a workload; returns its index (stable across `run`).
+  int add(FleetWorkload workload);
+
+  int num_workloads() const { return static_cast<int>(workloads_.size()); }
+
+  /// Tunes every queued workload and blocks until all budgets are spent.
+  /// Callable repeatedly; each call re-runs the full fleet from scratch.
+  FleetReport run();
+
+  /// Sessions of the most recent `run()`, indexed like the workloads
+  /// (empty before the first run).
+  const TuningSession& session(int i) const { return *sessions_.at(static_cast<std::size_t>(i)); }
+  TuningSession& session(int i) { return *sessions_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  Options opts_;
+  std::vector<FleetWorkload> workloads_;
+  std::vector<std::unique_ptr<TuningSession>> sessions_;
+};
+
+}  // namespace harl

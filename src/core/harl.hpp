@@ -18,12 +18,14 @@
 ///   core       - TuningSession entry point, option presets
 
 #include "bandit/sw_ucb.hpp"
+#include "core/fleet.hpp"
 #include "core/presets.hpp"
 #include "core/report.hpp"
 #include "core/tuning.hpp"
 #include "cost/cost_model.hpp"
 #include "features/feature_extractor.hpp"
 #include "hwsim/hardware_config.hpp"
+#include "hwsim/measure_cache.hpp"
 #include "hwsim/measurer.hpp"
 #include "hwsim/simulator.hpp"
 #include "ir/subgraph.hpp"
@@ -39,6 +41,7 @@
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/networks.hpp"
 #include "workloads/operators.hpp"
 #include "workloads/suites.hpp"

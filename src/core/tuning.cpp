@@ -21,7 +21,10 @@ TuningSession::TuningSession(Network network, HardwareConfig hw, SearchOptions o
       hw_(std::move(hw)),
       simulator_(hw_),
       measurer_(&simulator_, opts.seed ^ 0x4d454153ULL),
-      scheduler_(std::make_unique<TaskScheduler>(&network_, &hw_, opts)) {}
+      scheduler_(std::make_unique<TaskScheduler>(&network_, &hw_, opts)) {
+  measurer_.set_pool(opts.pool);
+  measurer_.enable_cache(opts.measure_cache_capacity);
+}
 
 TuningSession::TuningSession(const Subgraph& graph, HardwareConfig hw,
                              SearchOptions opts)

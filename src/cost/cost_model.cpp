@@ -47,7 +47,8 @@ std::vector<double> XgbCostModel::predict_batch(
     const std::vector<Schedule>& scheds) const {
   std::vector<double> out(scheds.size(), 0.5);
   if (!model_.trained()) return out;
-  global_pool().parallel_for(scheds.size(), [&](std::size_t i) {
+  ThreadPool& pool = pool_ ? *pool_ : global_pool();
+  pool.parallel_for(scheds.size(), [&](std::size_t i) {
     std::vector<double> f = extractor_.extract(scheds[i]);
     out[i] = std::clamp(model_.predict(f.data()), kMinScore, 1.5);
   });

@@ -9,6 +9,8 @@
 
 namespace harl {
 
+class ThreadPool;
+
 /// The learned cost model C(.) of the paper (Section 4.3): an XGBoost-style
 /// GBDT trained online on measured schedules, used
 ///   - as the RL reward function, r = (C(s') - C(s)) / C(s),
@@ -30,6 +32,9 @@ class XgbCostModel {
   double predict(const Schedule& sched) const;
   std::vector<double> predict_batch(const std::vector<Schedule>& scheds) const;
 
+  /// Pool used by `predict_batch` scoring; nullptr restores the global pool.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+
   bool trained() const { return model_.trained(); }
   std::size_t num_samples() const { return times_.size(); }
   double best_time_ms() const { return best_time_ms_; }
@@ -43,6 +48,7 @@ class XgbCostModel {
 
   FeatureExtractor extractor_;
   Gbdt model_;
+  ThreadPool* pool_ = nullptr;
   std::vector<double> features_;  ///< row-major sample matrix
   std::vector<double> times_;     ///< measured execution times (ms)
   double best_time_ms_ = 0;

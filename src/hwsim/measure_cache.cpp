@@ -1,0 +1,77 @@
+#include "hwsim/measure_cache.hpp"
+
+namespace harl {
+
+std::optional<double> MeasureCache::lookup(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return std::nullopt;
+  auto it = index_.find(fingerprint);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  order_.splice(order_.begin(), order_, it->second);
+  return it->second->second;
+}
+
+void MeasureCache::insert(std::uint64_t fingerprint, double time_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  auto it = index_.find(fingerprint);
+  if (it != index_.end()) {
+    it->second->second = time_ms;
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.emplace_front(fingerprint, time_ms);
+  index_[fingerprint] = order_.begin();
+  evict_to_capacity_locked();
+}
+
+void MeasureCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  order_.clear();
+  index_.clear();
+}
+
+void MeasureCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  if (capacity_ == 0) {
+    order_.clear();
+    index_.clear();
+    return;
+  }
+  evict_to_capacity_locked();
+}
+
+void MeasureCache::evict_to_capacity_locked() {
+  while (order_.size() > capacity_) {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t MeasureCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.size();
+}
+
+std::int64_t MeasureCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t MeasureCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::int64_t MeasureCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace harl

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace harl {
+
+/// Hash-keyed LRU cache of measured execution times.
+///
+/// Keys are `Schedule::fingerprint()` values; payloads are the measured
+/// (noise-included) times in milliseconds.  The top-K selection phase of every
+/// search policy can emit the same candidate more than once across rounds and
+/// tasks; a hit returns the previously measured time verbatim so duplicate
+/// candidates never re-invoke the simulator and never consume a measurement
+/// trial.  Replaying the stored value (rather than re-rolling noise) is what
+/// keeps whole tuning runs bit-identical regardless of when duplicates recur.
+///
+/// Thread-safe: a single mutex guards the map and recency list, so one cache
+/// can be shared by concurrent fleet sessions.  Capacity 0 disables the cache
+/// (lookups miss, inserts drop).
+class MeasureCache {
+ public:
+  explicit MeasureCache(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Returns the cached time and promotes the entry to most-recently-used.
+  std::optional<double> lookup(std::uint64_t fingerprint);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+  /// when at capacity.
+  void insert(std::uint64_t fingerprint, double time_ms);
+
+  /// Drops every entry; counters are preserved.
+  void clear();
+
+  /// Re-sizes the cache; shrinking evicts LRU entries immediately and
+  /// capacity 0 clears everything.
+  void set_capacity(std::size_t capacity);
+
+  std::size_t size() const;
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  std::int64_t evictions() const;
+
+ private:
+  void evict_to_capacity_locked();
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  /// Front = most recently used.
+  std::list<std::pair<std::uint64_t, double>> order_;
+  std::unordered_map<std::uint64_t,
+                     std::list<std::pair<std::uint64_t, double>>::iterator>
+      index_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t evictions_ = 0;
+};
+
+}  // namespace harl

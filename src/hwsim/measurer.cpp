@@ -1,5 +1,7 @@
 #include "hwsim/measurer.hpp"
 
+#include <unordered_map>
+
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -7,6 +9,8 @@ namespace harl {
 
 Measurer::Measurer(const CostSimulator* sim, std::uint64_t seed)
     : sim_(sim), seed_(seed) {}
+
+ThreadPool& Measurer::pool() const { return pool_ ? *pool_ : global_pool(); }
 
 double Measurer::noisy(double ms, std::int64_t trial_index) const {
   double sigma = sim_->hardware().noise_sigma;
@@ -16,17 +20,95 @@ double Measurer::noisy(double ms, std::int64_t trial_index) const {
   return ms * rng.next_lognoise(sigma);
 }
 
-double Measurer::measure_ms(const Schedule& sched) {
+MeasureResult Measurer::measure_one(const Schedule& sched) {
+  std::uint64_t fp = 0;
+  if (cache_.enabled()) {
+    fp = sched.fingerprint();
+    if (auto hit = cache_.lookup(fp)) {
+      return {*hit, trials_.load(), true};
+    }
+  }
   std::int64_t idx = trials_.fetch_add(1);
-  return noisy(sim_->simulate_ms(sched), idx);
+  MeasureResult out{noisy(sim_->simulate_ms(sched), idx), idx, false};
+  if (cache_.enabled()) cache_.insert(fp, out.time_ms);
+  return out;
+}
+
+std::vector<MeasureResult> Measurer::measure_batch_results(
+    const std::vector<Schedule>& scheds) {
+  const std::size_t n = scheds.size();
+  std::vector<MeasureResult> out(n);
+  if (n == 0) return out;
+
+  // Pass 1 (serial, in batch order): resolve cache hits and in-batch
+  // duplicates, and assign each simulator-bound schedule its trial offset.
+  // Doing this before the parallel section pins the schedule -> trial-index
+  // mapping, which is what makes the noise draws thread-count independent.
+  std::vector<std::size_t> miss;              // positions that hit the simulator
+  std::vector<std::size_t> dup_of(n, n);      // in-batch duplicate -> first position
+  std::vector<std::uint64_t> fps;
+  const bool cached_mode = cache_.enabled();
+  if (cached_mode) {
+    fps.resize(n);
+    std::unordered_map<std::uint64_t, std::size_t> first_pos;
+    for (std::size_t i = 0; i < n; ++i) {
+      fps[i] = scheds[i].fingerprint();
+      if (auto hit = cache_.lookup(fps[i])) {
+        out[i].time_ms = *hit;
+        out[i].cached = true;
+        out[i].trial_index = static_cast<std::int64_t>(miss.size());  // offset for now
+        continue;
+      }
+      auto it = first_pos.find(fps[i]);
+      if (it != first_pos.end()) {
+        dup_of[i] = it->second;
+        continue;
+      }
+      first_pos.emplace(fps[i], i);
+      out[i].trial_index = static_cast<std::int64_t>(miss.size());
+      miss.push_back(i);
+    }
+  } else {
+    miss.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      miss[i] = i;
+      out[i].trial_index = static_cast<std::int64_t>(i);
+    }
+  }
+
+  std::int64_t base = trials_.fetch_add(static_cast<std::int64_t>(miss.size()));
+
+  // Pass 2 (parallel): simulate the deduplicated misses.  Each iteration owns
+  // one output slot, so the write pattern is race-free and deterministic.
+  pool().parallel_for(miss.size(), [&](std::size_t k) {
+    std::size_t i = miss[k];
+    std::int64_t idx = base + out[i].trial_index;
+    out[i].time_ms = noisy(sim_->simulate_ms(scheds[i]), idx);
+    out[i].trial_index = idx;
+  });
+
+  // Pass 3 (serial): rebase hit indices, resolve duplicates, publish to the
+  // cache in batch order.
+  if (cached_mode) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i].cached) {
+        out[i].trial_index += base;
+      } else if (dup_of[i] < n) {
+        out[i] = out[dup_of[i]];
+        out[i].cached = true;
+      } else {
+        cache_.insert(fps[i], out[i].time_ms);
+      }
+    }
+  }
+  return out;
 }
 
 std::vector<double> Measurer::measure_batch(const std::vector<Schedule>& scheds) {
-  std::vector<double> out(scheds.size(), 0.0);
-  std::int64_t base = trials_.fetch_add(static_cast<std::int64_t>(scheds.size()));
-  global_pool().parallel_for(scheds.size(), [&](std::size_t i) {
-    out[i] = noisy(sim_->simulate_ms(scheds[i]), base + static_cast<std::int64_t>(i));
-  });
+  std::vector<MeasureResult> results = measure_batch_results(scheds);
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const MeasureResult& r : results) out.push_back(r.time_ms);
   return out;
 }
 

@@ -4,30 +4,73 @@
 #include <cstdint>
 #include <vector>
 
+#include "hwsim/measure_cache.hpp"
 #include "hwsim/simulator.hpp"
 
 namespace harl {
+
+class ThreadPool;
+
+/// One measurement outcome with its trial accounting.
+struct MeasureResult {
+  double time_ms = 0;
+  std::int64_t trial_index = 0;  ///< trials_used() snapshot the result maps to
+  bool cached = false;           ///< true: replayed from the cache, no trial spent
+};
 
 /// The measurement stage of the auto-scheduler: runs candidate schedules on
 /// the (simulated) target and reports execution times.
 ///
 /// Mirrors the paper's measurer semantics:
-///   - every measurement consumes one *trial* from the tuning budget (the
-///     x-axis of Figures 7a/10 and the "1000 measurement trials" setting),
+///   - every *simulator invocation* consumes one *trial* from the tuning
+///     budget (the x-axis of Figures 7a/10 and the "1000 measurement trials"
+///     setting); cache hits replay a stored result and consume none,
 ///   - results carry multiplicative lognormal noise (hardware jitter) that is
 ///     deterministic per (seed, trial index) so whole tuning runs replay
 ///     bit-identically, including under the batch parallelism of
 ///     `measure_batch`.
+///
+/// Batches dispatch onto a `ThreadPool` (`set_pool`; the global pool by
+/// default).  Trial indices are assigned serially in batch order before the
+/// parallel section, so the mapping from schedule to noise draw is
+/// independent of thread count and scheduling.
+///
+/// An optional hash-keyed LRU `MeasureCache` (`enable_cache`) deduplicates
+/// repeated candidates: the first measurement of a fingerprint is stored and
+/// every later request — including duplicates inside one batch — returns the
+/// stored time without re-invoking the simulator or consuming a trial.  The
+/// cache is off by default so a bare Measurer keeps strict
+/// one-trial-per-measurement accounting; `TuningSession` enables it from
+/// `SearchOptions::measure_cache_capacity`.
 class Measurer {
  public:
   Measurer(const CostSimulator* sim, std::uint64_t seed);
 
   const CostSimulator& simulator() const { return *sim_; }
 
-  /// Measure one schedule; consumes one trial.
-  double measure_ms(const Schedule& sched);
+  /// Pool used by `measure_batch`; nullptr restores the global pool.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool& pool() const;
 
-  /// Measure a batch concurrently; consumes one trial per schedule.
+  /// Turns the measure cache on (capacity > 0) or off (capacity == 0).
+  void enable_cache(std::size_t capacity) { cache_.set_capacity(capacity); }
+  const MeasureCache& cache() const { return cache_; }
+  MeasureCache& cache() { return cache_; }
+
+  /// Measure one schedule; consumes one trial unless it is a cache hit.
+  MeasureResult measure_one(const Schedule& sched);
+
+  /// Measure a batch concurrently; consumes one trial per schedule that
+  /// reaches the simulator.  With the cache enabled, cache hits and in-batch
+  /// duplicates are measured once; with it disabled every position is
+  /// simulated and charged (the strict accounting a real target would have).
+  /// Results are positionally aligned with `scheds` and bit-identical for
+  /// any pool size.
+  std::vector<MeasureResult> measure_batch_results(
+      const std::vector<Schedule>& scheds);
+
+  /// Convenience wrappers returning times only.
+  double measure_ms(const Schedule& sched) { return measure_one(sched).time_ms; }
   std::vector<double> measure_batch(const std::vector<Schedule>& scheds);
 
   std::int64_t trials_used() const { return trials_.load(); }
@@ -39,6 +82,8 @@ class Measurer {
   const CostSimulator* sim_;
   std::uint64_t seed_;
   std::atomic<std::int64_t> trials_{0};
+  ThreadPool* pool_ = nullptr;
+  MeasureCache cache_;
 };
 
 }  // namespace harl

@@ -24,6 +24,12 @@ std::uint64_t Schedule::fingerprint() const {
     h ^= v;
     h *= 1099511628211ULL;
   };
+  // The schedule's identity includes where it comes from: sketches of one
+  // subgraph differ structurally (cache_write/rfactor/fusion) even when the
+  // low-level parameters coincide, and the measure cache may see schedules of
+  // every task in a network, so the subgraph must disambiguate too.  The
+  // sketch precomputes that prefix as a single salt word.
+  mix(sketch->identity_salt);
   for (const StageSchedule& ss : stages) {
     for (const TileVector& t : ss.tiles) {
       for (std::int64_t f : t.factors) mix(static_cast<std::uint64_t>(f));

@@ -88,6 +88,18 @@ std::vector<Sketch> generate_sketches(const Subgraph& g) {
     sk.plans = std::move(plans);
     sk.tag = tag;
     sk.primary_compute_at_stage = pick_primary_compute_at(sk.plans, anchor);
+    // FNV-1a over the structural identity, hashed once here so per-candidate
+    // fingerprinting only mixes a single word.
+    std::uint64_t salt = 1469598103934665603ULL;
+    auto mix = [&salt](std::uint64_t v) {
+      salt ^= v;
+      salt *= 1099511628211ULL;
+    };
+    for (char c : g.name()) mix(static_cast<std::uint64_t>(c));
+    mix(0x5347ULL);
+    for (char c : sk.tag) mix(static_cast<std::uint64_t>(c));
+    mix(0x534bULL);
+    sk.identity_salt = salt;
     sketches.push_back(std::move(sk));
   };
 

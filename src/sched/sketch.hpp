@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct Sketch {
   int sketch_id = 0;
   std::vector<StagePlan> plans;  ///< one per stage
   std::string tag;               ///< compact id, e.g. "T", "T+CW", "T+RF"
+
+  /// Hash of (subgraph name, tag), precomputed at generation so
+  /// Schedule::fingerprint() can mix the schedule's structural identity
+  /// without re-hashing strings per candidate.
+  std::uint64_t identity_salt = 0;
 
   /// Stage whose compute-at knob the RL agent's compute-at head controls
   /// (-1 when no stage exposes the knob).

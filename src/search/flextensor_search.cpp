@@ -25,9 +25,9 @@ std::vector<MeasuredRecord> FlextensorSearchPolicy::tune_round(Measurer& measure
   for (int track = 0; track < cfg_.tracks; ++track) {
     Schedule cur = random_schedule(sketch, space.num_unroll_options(), rng_);
     std::vector<double> obs = rl_observation(fx_, space, cur);
-    double cur_time = measurer.measure_ms(cur);
-    std::int64_t trial0 = measurer.trials_used() - 1;
-    all_records.push_back({cur, cur_time, trial0});
+    MeasureResult first = measurer.measure_one(cur);
+    double cur_time = first.time_ms;
+    all_records.push_back({cur, first.time_ms, first.trial_index, first.cached});
 
     double best_time = cur_time;
     int best_step = 0;
@@ -41,8 +41,9 @@ std::vector<MeasuredRecord> FlextensorSearchPolicy::tune_round(Measurer& measure
         ja[static_cast<std::size_t>(h)] = act.actions[static_cast<std::size_t>(h)];
       }
       space.apply(&next, ja);
-      double next_time = measurer.measure_ms(next);
-      all_records.push_back({next, next_time, measurer.trials_used() - 1});
+      MeasureResult stepped = measurer.measure_one(next);
+      double next_time = stepped.time_ms;
+      all_records.push_back({next, stepped.time_ms, stepped.trial_index, stepped.cached});
 
       std::vector<double> next_obs = rl_observation(fx_, space, next);
       // Reward: measured relative speedup (Flextensor learns from hardware).

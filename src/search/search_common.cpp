@@ -26,7 +26,7 @@ void TaskState::commit_measurements(const std::vector<MeasuredRecord>& records) 
     scheds.push_back(r.sched);
     times.push_back(r.time_ms);
     measured_fps_.insert(r.sched.fingerprint());
-    ++trials_spent_;
+    if (!r.cached) ++trials_spent_;
     if (r.time_ms < best_time_ms_) {
       best_time_ms_ = r.time_ms;
       best_schedule_ = r.sched;
@@ -79,11 +79,11 @@ std::vector<MeasuredRecord> measure_and_commit(TaskState& task, Measurer& measur
                                                const std::vector<Schedule>& scheds) {
   std::vector<MeasuredRecord> records;
   if (scheds.empty()) return records;
-  std::int64_t base = measurer.trials_used();
-  std::vector<double> times = measurer.measure_batch(scheds);
+  std::vector<MeasureResult> results = measurer.measure_batch_results(scheds);
   records.reserve(scheds.size());
   for (std::size_t i = 0; i < scheds.size(); ++i) {
-    records.push_back({scheds[i], times[i], base + static_cast<std::int64_t>(i)});
+    records.push_back(
+        {scheds[i], results[i].time_ms, results[i].trial_index, results[i].cached});
   }
   task.commit_measurements(records);
   return records;

@@ -20,6 +20,7 @@ struct MeasuredRecord {
   Schedule sched;
   double time_ms = 0;
   std::int64_t trial_index = 0;  ///< global trial counter at measurement time
+  bool cached = false;           ///< replayed from the measure cache (no trial)
 };
 
 /// A point on the tuning curve: best time after `trials` measurements.
@@ -46,10 +47,17 @@ class TaskState {
   XgbCostModel& cost_model() { return cost_model_; }
   const XgbCostModel& cost_model() const { return cost_model_; }
 
+  /// Pool for cost-model candidate scoring; nullptr = global pool.
+  void set_pool(ThreadPool* pool) { cost_model_.set_pool(pool); }
+
   double best_time_ms() const { return best_time_ms_; }
   bool has_best() const { return best_time_ms_ < std::numeric_limits<double>::infinity(); }
   const Schedule& best_schedule() const { return best_schedule_; }
 
+  /// Trials this task consumed from the measurer's budget.  Records replayed
+  /// from the measure cache are committed (they still inform the cost model
+  /// and best tracking) but do not count here, keeping
+  /// sum(task trials) == Measurer::trials_used().
   std::int64_t trials_spent() const { return trials_spent_; }
   int rounds() const { return rounds_; }
   const std::vector<CurvePoint>& curve() const { return curve_; }

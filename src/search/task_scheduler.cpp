@@ -66,6 +66,7 @@ TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
                 opts.task_ucb) {
   for (std::size_t n = 0; n < net_->subgraphs.size(); ++n) {
     tasks_.push_back(std::make_unique<TaskState>(&net_->subgraphs[n], hw_));
+    tasks_.back()->set_pool(opts_.pool);
     SearchOptions per_task = opts_;
     per_task.seed = opts_.seed + 1000003ULL * (n + 1);
     policies_.push_back(make_policy(opts_.policy, tasks_.back().get(), per_task));
@@ -149,28 +150,55 @@ int TaskScheduler::select_task() {
   return 0;
 }
 
+TaskScheduler::RoundResult TaskScheduler::run_round(Measurer& measurer) {
+  if (run_start_trials_ < 0) run_start_trials_ = measurer.trials_used();
+
+  RoundResult out;
+  out.task = select_task();
+  std::int64_t before = measurer.trials_used();
+  std::vector<MeasuredRecord> records = policies_[static_cast<std::size_t>(out.task)]
+                                            ->tune_round(measurer, opts_.measures_per_round);
+  out.trials_consumed = measurer.trials_used() - before;
+  out.records = records.size();
+
+  if (opts_.effective_task_select() == TaskSelectKind::kSwUcbMab) {
+    // MAB reward: the negated Eq. 3 gradient, normalized by the current
+    // objective so rewards are dimensionless per-round improvements.
+    double f = estimated_latency_ms();
+    double reward = 0;
+    if (std::isfinite(f) && f > 0) {
+      double grad = task_gradient(out.task);
+      if (std::isfinite(grad)) {
+        reward = -grad * opts_.measures_per_round / f;
+      }
+    }
+    task_mab_.update(out.task, reward);
+  }
+
+  out.net_latency_ms = estimated_latency_ms();
+  round_log_.push_back(
+      {out.task, measurer.trials_used() - run_start_trials_, out.net_latency_ms});
+  return out;
+}
+
 void TaskScheduler::run(Measurer& measurer, std::int64_t total_trials) {
   std::int64_t start = measurer.trials_used();
+  // The round_log baseline is set once per scheduler (whether by run() or a
+  // direct run_round() call), so trials_after stays monotone across mixed
+  // and repeated invocations.
+  if (run_start_trials_ < 0) run_start_trials_ = start;
+  // Saturation guard: once every task's policy stops producing unmeasured
+  // candidates (possible with the measure cache on small action spaces),
+  // more rounds cannot consume budget — bail instead of spinning.
+  const int max_stalled = 2 * num_tasks() + 8;
+  int stalled = 0;
   while (measurer.trials_used() - start < total_trials) {
-    int n = select_task();
-    policies_[static_cast<std::size_t>(n)]->tune_round(measurer,
-                                                       opts_.measures_per_round);
-
-    if (opts_.effective_task_select() == TaskSelectKind::kSwUcbMab) {
-      // MAB reward: the negated Eq. 3 gradient, normalized by the current
-      // objective so rewards are dimensionless per-round improvements.
-      double f = estimated_latency_ms();
-      double reward = 0;
-      if (std::isfinite(f) && f > 0) {
-        double grad = task_gradient(n);
-        if (std::isfinite(grad)) {
-          reward = -grad * opts_.measures_per_round / f;
-        }
-      }
-      task_mab_.update(n, reward);
+    RoundResult r = run_round(measurer);
+    if (r.trials_consumed == 0) {
+      if (++stalled >= max_stalled) break;
+    } else {
+      stalled = 0;
     }
-
-    round_log_.push_back({n, measurer.trials_used() - start, estimated_latency_ms()});
   }
 }
 

@@ -14,6 +14,8 @@
 
 namespace harl {
 
+class ThreadPool;
+
 /// Which per-subgraph search policy to instantiate.
 enum class PolicyKind {
   kHarl,            ///< full HARL (hierarchical RL + adaptive stopping)
@@ -55,6 +57,16 @@ struct SearchOptions {
 
   std::uint64_t seed = 42;
 
+  // ---- parallel engine knobs ------------------------------------------
+  /// Worker pool shared by batched measurement and cost-model candidate
+  /// scoring.  nullptr = the process-wide `global_pool()`; a `ThreadPool(1)`
+  /// forces the serial path (useful for determinism baselines).  Not owned.
+  ThreadPool* pool = nullptr;
+  /// Capacity of the measurer's hash-keyed LRU cache of measured times
+  /// (duplicate candidates replay instead of re-simulating and consume no
+  /// trials).  0 disables caching.
+  std::size_t measure_cache_capacity = 4096;
+
   TaskSelectKind effective_task_select() const {
     if (task_select.has_value()) return *task_select;
     switch (policy) {
@@ -82,8 +94,26 @@ class TaskScheduler {
  public:
   TaskScheduler(const Network* net, const HardwareConfig* hw, SearchOptions opts);
 
+  /// Outcome of one pipeline round (select -> tune -> reward -> log).
+  struct RoundResult {
+    int task = -1;
+    std::int64_t trials_consumed = 0;  ///< simulator trials this round spent
+    std::size_t records = 0;           ///< measurements committed (incl. cached)
+    double net_latency_ms = 0;         ///< objective after the round
+  };
+
+  /// Run one round of the tuning pipeline: pick a task (warmup first, then
+  /// the configured selection rule), run its policy's `tune_round` — whose
+  /// candidate scoring and top-K measurement dispatch onto the configured
+  /// pool via the batched paths — feed the bandit its reward, and append to
+  /// `round_log()`.
+  RoundResult run_round(Measurer& measurer);
+
   /// Tune until `total_trials` measurements are consumed (a warmup pass
-  /// first tunes every task once).
+  /// first tunes every task once).  Stops early if the search saturates:
+  /// with the measure cache on, a policy whose whole top-K replays from
+  /// cache consumes no trials, and repeated zero-trial rounds mean no task
+  /// can make progress.
   void run(Measurer& measurer, std::int64_t total_trials);
 
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
@@ -123,6 +153,7 @@ class TaskScheduler {
   SwUcb task_mab_;
   int round_robin_next_ = 0;
   std::vector<RoundLog> round_log_;
+  std::int64_t run_start_trials_ = -1;  ///< trials_used() at the start of run()
 };
 
 }  // namespace harl

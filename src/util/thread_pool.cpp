@@ -1,6 +1,6 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
+#include <algorithm>
 
 namespace harl {
 
@@ -38,35 +38,50 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::run_loop(ForLoop& loop) {
+  for (;;) {
+    std::size_t begin = loop.next.fetch_add(loop.grain);
+    if (begin >= loop.count) break;
+    std::size_t end = std::min(begin + loop.grain, loop.count);
+    for (std::size_t i = begin; i < end; ++i) loop.fn(i);
+    std::size_t done = end - begin;
+    if (loop.completed.fetch_add(done) + done == loop.count) {
+      // Pair the notify with the waiter's mutex so the final increment cannot
+      // race past a sleeping caller.
+      std::lock_guard<std::mutex> lk(loop.mu);
+      loop.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (count == 1 || workers_.size() <= 1) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::atomic<std::size_t> done{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  std::size_t shards = std::min(count, workers_.size());
+  auto loop = std::make_shared<ForLoop>();
+  loop->fn = fn;
+  loop->count = count;
+  // Chunked claiming: ~8 chunks per participant amortizes the atomic and
+  // function-call overhead of fine-grained tasks (schedule simulations run in
+  // the microsecond range) while keeping enough chunks for load balancing.
+  std::size_t participants = workers_.size() + 1;
+  loop->grain = std::max<std::size_t>(1, count / (participants * 8));
+  // The caller participates, so at most count-1 iterations are left for
+  // helpers; enqueueing more would only add wakeup churn.
+  std::size_t helpers = std::min((count - 1) / loop->grain + 1, workers_.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t s = 0; s < shards; ++s) {
-      tasks_.push([&, count] {
-        for (;;) {
-          std::size_t i = next.fetch_add(1);
-          if (i >= count) break;
-          fn(i);
-        }
-        std::lock_guard<std::mutex> dl(done_mu);
-        ++done;
-        done_cv.notify_one();
-      });
+    for (std::size_t s = 0; s < helpers; ++s) {
+      tasks_.push([loop] { run_loop(*loop); });
     }
   }
   cv_.notify_all();
-  std::unique_lock<std::mutex> dl(done_mu);
-  done_cv.wait(dl, [&] { return done.load() == shards; });
+  run_loop(*loop);
+  std::unique_lock<std::mutex> lk(loop->mu);
+  loop->cv.wait(lk, [&] { return loop->completed.load() == loop->count; });
 }
 
 ThreadPool& global_pool() {

@@ -1,8 +1,10 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -13,8 +15,18 @@ namespace harl {
 /// Fixed-size worker pool with a blocking `parallel_for`.
 ///
 /// Used by the measurer to evaluate schedule batches concurrently (the paper's
-/// measurer runs candidate programs in parallel on the target) and by the
-/// benchmark harness to run independent tuning configurations side by side.
+/// measurer runs candidate programs in parallel on the target), by the cost
+/// model to score candidate populations, and by the fleet tuner to serve many
+/// tuning sessions from one set of worker threads.
+///
+/// `parallel_for` is caller-participating: the calling thread executes
+/// iterations alongside the workers and only waits for iterations that were
+/// actually claimed.  This means a call never deadlocks waiting for queued
+/// helper tasks that cannot be scheduled (e.g. when many fleet sessions share
+/// one small pool), and the caller's core is never idle.  Do not call
+/// `parallel_for` from inside a pool task; sessions that share a pool must
+/// run on their own threads.
+///
 /// Exceptions thrown by tasks terminate the process by design: worker tasks in
 /// this library are noexcept-by-contract numeric kernels.
 class ThreadPool {
@@ -30,9 +42,24 @@ class ThreadPool {
 
   /// Run fn(i) for i in [0, count) across the pool; blocks until all complete.
   /// Falls back to the calling thread when count <= 1 or the pool is size 1.
+  /// Iteration-to-thread assignment is dynamic, so `fn` must not depend on
+  /// which thread runs it; determinism comes from indexing results by `i`.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
  private:
+  /// Shared state of one parallel_for call.  Owned via shared_ptr so helper
+  /// tasks that start after the call returned find no work and exit safely.
+  struct ForLoop {
+    std::function<void(std::size_t)> fn;
+    std::size_t count = 0;
+    std::size_t grain = 1;  ///< indices claimed per atomic increment
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  static void run_loop(ForLoop& loop);
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -42,8 +69,8 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Global pool shared by measurement batches (lazily constructed, sized to
-/// hardware concurrency).
+/// Global pool shared by measurement batches and cost-model scoring (lazily
+/// constructed, sized to hardware concurrency).
 ThreadPool& global_pool();
 
 }  // namespace harl

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "hwsim/measure_cache.hpp"
+#include "hwsim/measurer.hpp"
+#include "hwsim/simulator.hpp"
+#include "sched/sketch.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+TEST(MeasureCache, DisabledAtCapacityZero) {
+  MeasureCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.insert(1, 2.5);
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(MeasureCache, HitReturnsStoredValue) {
+  MeasureCache cache(8);
+  cache.insert(42, 1.25);
+  auto hit = cache.lookup(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 1.25);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_FALSE(cache.lookup(43).has_value());
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(MeasureCache, EvictsLeastRecentlyUsed) {
+  MeasureCache cache(2);
+  cache.insert(1, 1.0);
+  cache.insert(2, 2.0);
+  ASSERT_TRUE(cache.lookup(1).has_value());  // promotes 1; 2 is now LRU
+  cache.insert(3, 3.0);                      // evicts 2
+  EXPECT_TRUE(cache.lookup(1).has_value());
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MeasureCache, ReinsertRefreshesValueAndRecency) {
+  MeasureCache cache(2);
+  cache.insert(1, 1.0);
+  cache.insert(2, 2.0);
+  cache.insert(1, 9.0);  // refresh: 2 becomes LRU
+  cache.insert(3, 3.0);  // evicts 2
+  EXPECT_DOUBLE_EQ(*cache.lookup(1), 9.0);
+  EXPECT_FALSE(cache.lookup(2).has_value());
+}
+
+TEST(MeasureCache, ShrinkingCapacityEvicts) {
+  MeasureCache cache(4);
+  for (std::uint64_t k = 0; k < 4; ++k) cache.insert(k, static_cast<double>(k));
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.lookup(3).has_value());  // most recent survive
+  EXPECT_FALSE(cache.lookup(0).has_value());
+  cache.set_capacity(0);
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+struct MeasurerCacheFixture : ::testing::Test {
+  MeasurerCacheFixture()
+      : hw([] {
+          HardwareConfig h = HardwareConfig::test_config();
+          h.noise_sigma = 0.05;  // noise on: replay must still be exact
+          return h;
+        }()),
+        sim(hw),
+        graph(make_gemm(32, 32, 32)),
+        sketches(generate_sketches(graph)) {}
+
+  /// `count` schedules with pairwise distinct fingerprints.
+  std::vector<Schedule> distinct_schedules(std::size_t count, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Schedule> out;
+    std::unordered_set<std::uint64_t> fps;
+    while (out.size() < count) {
+      Schedule s = random_schedule(sketches[0], hw.num_unroll_options(), rng);
+      if (fps.insert(s.fingerprint()).second) out.push_back(s);
+    }
+    return out;
+  }
+
+  HardwareConfig hw;
+  CostSimulator sim;
+  Subgraph graph;
+  std::vector<Sketch> sketches;
+};
+
+TEST_F(MeasurerCacheFixture, HitsDoNotConsumeTrials) {
+  Measurer m(&sim, 7);
+  m.enable_cache(64);
+  Schedule s = distinct_schedules(1, 1)[0];
+  MeasureResult first = m.measure_one(s);
+  EXPECT_FALSE(first.cached);
+  EXPECT_EQ(m.trials_used(), 1);
+  MeasureResult second = m.measure_one(s);
+  EXPECT_TRUE(second.cached);
+  EXPECT_EQ(second.time_ms, first.time_ms);  // replay, not a fresh noise draw
+  EXPECT_EQ(m.trials_used(), 1);
+}
+
+TEST_F(MeasurerCacheFixture, BatchDeduplicatesWithinAndAcrossBatches) {
+  Measurer m(&sim, 7);
+  m.enable_cache(64);
+  Schedule s = distinct_schedules(1, 2)[0];
+  std::vector<MeasureResult> batch = m.measure_batch_results({s, s, s});
+  EXPECT_EQ(m.trials_used(), 1);  // in-batch duplicates simulate once
+  EXPECT_FALSE(batch[0].cached);
+  EXPECT_TRUE(batch[1].cached);
+  EXPECT_TRUE(batch[2].cached);
+  EXPECT_EQ(batch[0].time_ms, batch[1].time_ms);
+  EXPECT_EQ(batch[0].time_ms, batch[2].time_ms);
+
+  std::vector<MeasureResult> again = m.measure_batch_results({s});
+  EXPECT_TRUE(again[0].cached);  // cross-batch duplicate replays
+  EXPECT_EQ(again[0].time_ms, batch[0].time_ms);
+  EXPECT_EQ(m.trials_used(), 1);
+}
+
+TEST_F(MeasurerCacheFixture, UncachedMeasurerKeepsStrictAccounting) {
+  Measurer m(&sim, 7);  // cache off by default
+  Schedule s = distinct_schedules(1, 3)[0];
+  m.measure_batch({s, s, s});
+  EXPECT_EQ(m.trials_used(), 3);  // every measurement costs a trial
+}
+
+TEST_F(MeasurerCacheFixture, ParallelBatchBitIdenticalToSerial) {
+  std::vector<Schedule> batch = distinct_schedules(40, 4);
+  // Mix in duplicates at fixed positions.
+  batch.push_back(batch[3]);
+  batch.push_back(batch[17]);
+
+  ThreadPool serial(1), wide(4);
+  Measurer m1(&sim, 11), m2(&sim, 11);
+  m1.set_pool(&serial);
+  m2.set_pool(&wide);
+  m1.enable_cache(64);
+  m2.enable_cache(64);
+  std::vector<MeasureResult> a = m1.measure_batch_results(batch);
+  std::vector<MeasureResult> b = m2.measure_batch_results(batch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time_ms, b[i].time_ms) << i;
+    EXPECT_EQ(a[i].trial_index, b[i].trial_index) << i;
+    EXPECT_EQ(a[i].cached, b[i].cached) << i;
+  }
+  EXPECT_EQ(m1.trials_used(), m2.trials_used());
+  EXPECT_EQ(m1.trials_used(), 40);  // duplicates measured once
+}
+
+TEST_F(MeasurerCacheFixture, TrialCounterConsistentUnderConcurrentBatches) {
+  Measurer m(&sim, 13);
+  m.enable_cache(1024);
+  std::vector<Schedule> lhs = distinct_schedules(64, 5);
+  std::vector<Schedule> rhs = distinct_schedules(64, 6);
+  // The two sets can overlap; count the union's unique fingerprints.
+  std::unordered_set<std::uint64_t> unique_fps;
+  for (const Schedule& s : lhs) unique_fps.insert(s.fingerprint());
+  for (const Schedule& s : rhs) unique_fps.insert(s.fingerprint());
+
+  std::thread t1([&] { m.measure_batch(lhs); });
+  std::thread t2([&] { m.measure_batch(rhs); });
+  t1.join();
+  t2.join();
+  // Concurrent batches race on lookups, so an overlapping fingerprint may be
+  // simulated by both threads (at most once extra each); the counter must
+  // stay within those bounds and never double-count within one batch.
+  EXPECT_GE(m.trials_used(), static_cast<std::int64_t>(unique_fps.size()));
+  EXPECT_LE(m.trials_used(), 128);
+
+  // Replaying both batches afterwards is now all cache hits.
+  std::int64_t before = m.trials_used();
+  m.measure_batch(lhs);
+  m.measure_batch(rhs);
+  EXPECT_EQ(m.trials_used(), before);
+}
+
+}  // namespace
+}  // namespace harl

@@ -4,6 +4,7 @@
 
 #include "core/presets.hpp"
 #include "search/task_scheduler.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/operators.hpp"
 
 namespace harl {
@@ -136,6 +137,74 @@ TEST_F(SchedulerFixture, RoundRobinBalancesAllocations) {
   auto alloc = sched.task_allocations();
   EXPECT_EQ(alloc[0], alloc[1]);
   EXPECT_EQ(alloc[1], alloc[2]);
+}
+
+TEST_F(SchedulerFixture, RunRoundPipelineWarmsUpThenProgresses) {
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kHarl));
+  // The first num_tasks rounds are the warmup tour, one per task.
+  std::vector<bool> warmed(static_cast<std::size_t>(sched.num_tasks()), false);
+  for (int i = 0; i < sched.num_tasks(); ++i) {
+    TaskScheduler::RoundResult r = sched.run_round(measurer);
+    EXPECT_GE(r.task, 0);
+    EXPECT_LT(r.task, sched.num_tasks());
+    EXPECT_FALSE(warmed[static_cast<std::size_t>(r.task)]);
+    warmed[static_cast<std::size_t>(r.task)] = true;
+    EXPECT_GT(r.trials_consumed, 0);
+    EXPECT_GE(r.records, static_cast<std::size_t>(r.trials_consumed));
+  }
+  TaskScheduler::RoundResult r = sched.run_round(measurer);
+  EXPECT_TRUE(std::isfinite(r.net_latency_ms));
+  EXPECT_EQ(sched.round_log().size(), static_cast<std::size_t>(sched.num_tasks()) + 1);
+}
+
+// The acceptance property of the parallel engine: a tuning run's results are
+// a pure function of the seed, independent of measurement thread count.
+TEST(SchedulerDeterminism, ParallelRunBitIdenticalToSerial) {
+  Network net = tiny_network();
+  HardwareConfig hw = HardwareConfig::xeon_6226r();
+  hw.noise_sigma = 0.05;  // jitter on: per-trial noise must replay exactly
+
+  auto run_one = [&](ThreadPool* pool) {
+    SearchOptions opts = tiny_options(PolicyKind::kHarl);
+    opts.pool = pool;
+    CostSimulator sim(hw);
+    Measurer measurer(&sim, 9);
+    measurer.set_pool(pool);
+    measurer.enable_cache(opts.measure_cache_capacity);
+    TaskScheduler sched(&net, &hw, opts);
+    sched.run(measurer, 80);
+    std::vector<double> bests;
+    for (int i = 0; i < sched.num_tasks(); ++i) {
+      bests.push_back(sched.task(i).best_time_ms());
+    }
+    return std::make_tuple(sched.round_log(), bests, measurer.trials_used());
+  };
+
+  ThreadPool serial(1), wide(4);
+  auto [log_s, bests_s, trials_s] = run_one(&serial);
+  auto [log_w, bests_w, trials_w] = run_one(&wide);
+
+  EXPECT_EQ(trials_s, trials_w);
+  EXPECT_EQ(bests_s, bests_w);  // bitwise: same noise draws, same schedules
+  ASSERT_EQ(log_s.size(), log_w.size());
+  for (std::size_t i = 0; i < log_s.size(); ++i) {
+    EXPECT_EQ(log_s[i].task, log_w[i].task) << i;
+    EXPECT_EQ(log_s[i].trials_after, log_w[i].trials_after) << i;
+    EXPECT_EQ(log_s[i].net_latency_ms, log_w[i].net_latency_ms) << i;
+  }
+}
+
+TEST_F(SchedulerFixture, CacheHitsKeepAllocationInvariant) {
+  measurer.enable_cache(4096);
+  TaskScheduler sched(&net, &hw, tiny_options(PolicyKind::kAnsor));
+  sched.run(measurer, 60);
+  // Cached records commit to tasks but consume no trials; the accounting
+  // invariant sum(task trials) == measurer trials must survive that.
+  auto alloc = sched.task_allocations();
+  std::int64_t total = 0;
+  for (std::int64_t a : alloc) total += a;
+  EXPECT_EQ(total, measurer.trials_used());
+  EXPECT_GE(measurer.trials_used(), 60);
 }
 
 TEST(PolicyKindNames, AllDistinct) {
