@@ -6,15 +6,18 @@
 
 namespace harl {
 
-XgbCostModel::XgbCostModel(const HardwareConfig* hw, GbdtConfig cfg)
-    : extractor_(hw), model_(cfg) {}
+XgbCostModel::XgbCostModel(const HardwareConfig* hw, CostModelConfig cfg)
+    : cfg_(cfg), extractor_(hw), model_(cfg.gbdt) {}
 
 void XgbCostModel::update(const std::vector<Schedule>& scheds,
                           const std::vector<double>& times_ms) {
+  double best_before = best_time_ms_;
+  constexpr std::size_t kW = FeatureExtractor::kNumFeatures;
   for (std::size_t i = 0; i < scheds.size() && i < times_ms.size(); ++i) {
     if (times_ms[i] <= 0) continue;
-    std::vector<double> f = extractor_.extract(scheds[i]);
-    features_.insert(features_.end(), f.begin(), f.end());
+    std::size_t at = features_.size();
+    features_.resize(at + kW);
+    extractor_.extract_into(scheds[i], &features_[at]);
     times_.push_back(times_ms[i]);
     best_time_ms_ = best_time_ms_ == 0 ? times_ms[i] : std::min(best_time_ms_, times_ms[i]);
   }
@@ -23,34 +26,49 @@ void XgbCostModel::update(const std::vector<Schedule>& scheds,
     std::size_t drop = times_.size() - kMaxSamples;
     times_.erase(times_.begin(), times_.begin() + static_cast<std::ptrdiff_t>(drop));
     features_.erase(features_.begin(),
-                    features_.begin() + static_cast<std::ptrdiff_t>(
-                                            drop * FeatureExtractor::kNumFeatures));
+                    features_.begin() + static_cast<std::ptrdiff_t>(drop * kW));
   }
-  refit();
+  // Warm start is only sound while every existing label is unchanged: an
+  // improved best time rescales all labels, so it forces a full refit.  A
+  // slid window does not — surviving rows keep their labels, and fit_more
+  // re-baselines its residuals over the current window.
+  bool full = !model_.trained() || cfg_.refit_period <= 1 ||
+              best_time_ms_ != best_before ||
+              updates_since_refit_ + 1 >= cfg_.refit_period;
+  refit(full);
+  updates_since_refit_ = full ? 0 : updates_since_refit_ + 1;
 }
 
-void XgbCostModel::refit() {
+void XgbCostModel::refit(bool full) {
   if (times_.size() < 4) return;
-  std::vector<double> labels(times_.size());
-  for (std::size_t i = 0; i < times_.size(); ++i) labels[i] = best_time_ms_ / times_[i];
-  model_.fit(features_, FeatureExtractor::kNumFeatures, labels);
+  labels_.resize(times_.size());
+  for (std::size_t i = 0; i < times_.size(); ++i) labels_[i] = best_time_ms_ / times_[i];
+  if (full) {
+    model_.fit(features_, FeatureExtractor::kNumFeatures, labels_);
+  } else {
+    model_.fit_more(features_, FeatureExtractor::kNumFeatures, labels_,
+                    cfg_.warm_trees);
+  }
 }
 
 double XgbCostModel::predict(const Schedule& sched) const {
   if (!model_.trained()) return 0.5;
-  std::vector<double> f = extractor_.extract(sched);
-  double score = model_.predict(f.data());
+  double row[FeatureExtractor::kNumFeatures];
+  extractor_.extract_into(sched, row);
+  double score = model_.predict(row);
   return std::clamp(score, kMinScore, 1.5);
 }
 
 std::vector<double> XgbCostModel::predict_batch(
     const std::vector<Schedule>& scheds) const {
   std::vector<double> out(scheds.size(), 0.5);
-  if (!model_.trained()) return out;
+  if (!model_.trained() || scheds.empty()) return out;
+  constexpr std::size_t kW = FeatureExtractor::kNumFeatures;
   ThreadPool& pool = pool_ ? *pool_ : global_pool();
+  batch_features_.resize(scheds.size() * kW);
+  extractor_.extract_matrix_into(scheds, batch_features_.data(), &pool);
   pool.parallel_for(scheds.size(), [&](std::size_t i) {
-    std::vector<double> f = extractor_.extract(scheds[i]);
-    out[i] = std::clamp(model_.predict(f.data()), kMinScore, 1.5);
+    out[i] = std::clamp(model_.predict(&batch_features_[i * kW]), kMinScore, 1.5);
   });
   return out;
 }

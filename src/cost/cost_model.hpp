@@ -11,6 +11,19 @@ namespace harl {
 
 class ThreadPool;
 
+/// Cost-model policy knobs layered on top of the GBDT learner itself.
+struct CostModelConfig {
+  GbdtConfig gbdt;
+  /// Retrain the full ensemble from scratch every `refit_period` updates; in
+  /// between, continue boosting `warm_trees` new trees on the grown sample
+  /// set (warm start).  A full refit is also forced whenever the best time
+  /// improves, since that rescales every label.
+  /// 1 = refit on every update (the original behavior).
+  int refit_period = 1;
+  /// Trees added per warm-start update when `refit_period > 1`.
+  int warm_trees = 8;
+};
+
 /// The learned cost model C(.) of the paper (Section 4.3): an XGBoost-style
 /// GBDT trained online on measured schedules, used
 ///   - as the RL reward function, r = (C(s') - C(s)) / C(s),
@@ -20,9 +33,16 @@ class ThreadPool;
 /// Scores are normalized throughput in (0, 1]: label = best_time / time over
 /// all measurements seen so far (re-normalized as the best improves), so
 /// higher is better and 1.0 is the best schedule observed.
+///
+/// The scoring hot path is fully batched: `predict_batch` fills one
+/// row-major feature matrix (each pool worker extracting straight into its
+/// row — no per-schedule allocation) and streams it through the flattened
+/// GBDT forest.
 class XgbCostModel {
  public:
-  XgbCostModel(const HardwareConfig* hw, GbdtConfig cfg = {});
+  explicit XgbCostModel(const HardwareConfig* hw, CostModelConfig cfg = {});
+  XgbCostModel(const HardwareConfig* hw, GbdtConfig gbdt_cfg)
+      : XgbCostModel(hw, CostModelConfig{gbdt_cfg}) {}
 
   /// Record measured schedules and retrain (Algorithm 1, line 22).
   void update(const std::vector<Schedule>& scheds, const std::vector<double>& times_ms);
@@ -38,20 +58,31 @@ class XgbCostModel {
   bool trained() const { return model_.trained(); }
   std::size_t num_samples() const { return times_.size(); }
   double best_time_ms() const { return best_time_ms_; }
+  const CostModelConfig& config() const { return cfg_; }
+  /// Trees in the current ensemble (grows between full refits when warm
+  /// starting; exposed for tests and reports).
+  int num_trees() const { return model_.num_trees_fit(); }
 
   /// Keep at most this many most-recent samples (bounds refit cost).
   static constexpr std::size_t kMaxSamples = 8192;
   static constexpr double kMinScore = 1e-3;
 
  private:
-  void refit();
+  void refit(bool full);
 
+  CostModelConfig cfg_;
   FeatureExtractor extractor_;
   Gbdt model_;
   ThreadPool* pool_ = nullptr;
   std::vector<double> features_;  ///< row-major sample matrix
   std::vector<double> times_;     ///< measured execution times (ms)
+  std::vector<double> labels_;    ///< refit scratch (best_time / time)
+  /// predict_batch scratch; makes concurrent predict_batch calls on one
+  /// model unsafe (each task's model is driven by a single search thread —
+  /// pool workers only fill disjoint rows of one call's matrix).
+  mutable std::vector<double> batch_features_;
   double best_time_ms_ = 0;
+  int updates_since_refit_ = 0;
 };
 
 }  // namespace harl

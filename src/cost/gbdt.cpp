@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 namespace harl {
@@ -14,91 +15,297 @@ double leaf_score(double grad_sum, double count, double lambda) {
   return grad_sum * grad_sum / (count + lambda);
 }
 
+/// Per-fit training state shared by all trees of one boosting run: feature
+/// columns sorted once (exact mode), quantile cuts and the binned feature
+/// matrix (histogram mode), and the per-node partition scratch.  Node order,
+/// tie-breaking (by row index), accumulation order (ascending row index for
+/// node gradient sums, (value, row) order for split scans) and RNG
+/// consumption (one col-subsample draw per feature per splittable node, in
+/// feature order, preorder over nodes) are all pinned, so two builders over
+/// the same data produce bit-identical trees regardless of how the sample
+/// sets reached them.
+class TreeBuilder {
+ public:
+  TreeBuilder(const std::vector<double>& x, int num_features, const GbdtConfig& cfg)
+      : x_(x),
+        nf_(num_features),
+        cfg_(cfg),
+        n_(num_features > 0 ? x.size() / static_cast<std::size_t>(num_features) : 0) {
+    presort();
+    if (cfg_.split_mode == SplitMode::kHistogram) build_bins();
+    side_.assign(n_, 0);
+    in_tree_.assign(n_, 0);
+  }
+
+  /// Build one tree on rows `idx` (ascending) against gradients `g`.
+  void build_tree(const std::vector<double>& g, const std::vector<int>& idx,
+                  const GbdtConfig& cfg, Rng& rng, RegressionTree* out) {
+    std::vector<RegressionTree::Node>& nodes = out->mutable_nodes();
+    nodes.clear();
+    if (idx.empty()) return;
+    m_ = static_cast<int>(idx.size());
+    idx_.assign(idx.begin(), idx.end());
+    if (cfg.split_mode == SplitMode::kExact) {
+      // Working columns: each feature's pre-sorted order filtered to the
+      // sampled rows; index-partitioned in place as the tree grows.
+      for (int r : idx_) in_tree_[static_cast<std::size_t>(r)] = 1;
+      cols_.resize(static_cast<std::size_t>(nf_) * static_cast<std::size_t>(m_));
+      for (int f = 0; f < nf_; ++f) {
+        const int* src = &sorted_[static_cast<std::size_t>(f) * n_];
+        int* dst = &cols_[static_cast<std::size_t>(f) * static_cast<std::size_t>(m_)];
+        int w = 0;
+        for (std::size_t i = 0; i < n_; ++i) {
+          if (in_tree_[static_cast<std::size_t>(src[i])]) dst[w++] = src[i];
+        }
+      }
+      for (int r : idx_) in_tree_[static_cast<std::size_t>(r)] = 0;
+    }
+    build_node(g, 0, m_, 0, cfg, rng, &nodes);
+  }
+
+ private:
+  double xval(int row, int f) const {
+    return x_[static_cast<std::size_t>(row) * static_cast<std::size_t>(nf_) +
+              static_cast<std::size_t>(f)];
+  }
+
+  void presort() {
+    sorted_.resize(static_cast<std::size_t>(nf_) * n_);
+    for (int f = 0; f < nf_; ++f) {
+      int* col = &sorted_[static_cast<std::size_t>(f) * n_];
+      for (std::size_t i = 0; i < n_; ++i) col[i] = static_cast<int>(i);
+      std::sort(col, col + n_, [&](int a, int b) {
+        double va = xval(a, f), vb = xval(b, f);
+        return va < vb || (va == vb && a < b);
+      });
+    }
+  }
+
+  void build_bins() {
+    int bins = std::max(2, cfg_.histogram_bins);
+    cut_begin_.assign(static_cast<std::size_t>(nf_) + 1, 0);
+    cuts_.clear();
+    for (int f = 0; f < nf_; ++f) {
+      cut_begin_[static_cast<std::size_t>(f)] = static_cast<int>(cuts_.size());
+      const int* col = &sorted_[static_cast<std::size_t>(f) * n_];
+      // Candidate cuts at evenly spaced ranks of the sorted column
+      // (deterministic quantiles), deduplicated.
+      for (int b = 1; b < bins; ++b) {
+        std::size_t r = n_ * static_cast<std::size_t>(b) / static_cast<std::size_t>(bins);
+        if (r >= n_) break;
+        double v = xval(col[r], f);
+        std::size_t seg = static_cast<std::size_t>(cut_begin_[static_cast<std::size_t>(f)]);
+        if (cuts_.size() == seg || v > cuts_.back()) cuts_.push_back(v);
+      }
+    }
+    cut_begin_[static_cast<std::size_t>(nf_)] = static_cast<int>(cuts_.size());
+
+    // Binned matrix: bin(v) = index of the first cut >= v, so that
+    // v <= cuts[j]  <=>  bin(v) <= j.  Assigned by one monotone walk per
+    // sorted column.
+    max_bins_ = 1;
+    for (int f = 0; f < nf_; ++f) {
+      max_bins_ = std::max(max_bins_, num_cuts(f) + 1);
+    }
+    bin_.resize(n_ * static_cast<std::size_t>(nf_));
+    for (int f = 0; f < nf_; ++f) {
+      const int* col = &sorted_[static_cast<std::size_t>(f) * n_];
+      const double* cut = cuts_.data() + cut_begin_[static_cast<std::size_t>(f)];
+      int nc = num_cuts(f);
+      int b = 0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        double v = xval(col[i], f);
+        while (b < nc && cut[b] < v) ++b;
+        bin_[static_cast<std::size_t>(col[i]) * static_cast<std::size_t>(nf_) +
+             static_cast<std::size_t>(f)] = static_cast<std::uint16_t>(b);
+      }
+    }
+    hist_g_.resize(static_cast<std::size_t>(nf_) * static_cast<std::size_t>(max_bins_));
+    hist_c_.resize(static_cast<std::size_t>(nf_) * static_cast<std::size_t>(max_bins_));
+  }
+
+  int num_cuts(int f) const {
+    return cut_begin_[static_cast<std::size_t>(f) + 1] -
+           cut_begin_[static_cast<std::size_t>(f)];
+  }
+
+  /// Stable partition of a[begin..end) by side_ (left flag per row id).
+  /// Returns the split point.
+  int stable_partition_segment(std::vector<int>& a, int begin, int end) {
+    tmp_.clear();
+    int w = begin;
+    for (int i = begin; i < end; ++i) {
+      int r = a[static_cast<std::size_t>(i)];
+      if (side_[static_cast<std::size_t>(r)]) {
+        a[static_cast<std::size_t>(w++)] = r;
+      } else {
+        tmp_.push_back(r);
+      }
+    }
+    std::copy(tmp_.begin(), tmp_.end(), a.begin() + w);
+    return w;
+  }
+
+  int build_node(const std::vector<double>& g, int begin, int end, int depth,
+                 const GbdtConfig& cfg, Rng& rng,
+                 std::vector<RegressionTree::Node>* nodes) {
+    int node_id = static_cast<int>(nodes->size());
+    nodes->push_back({});
+
+    double grad_sum = 0;
+    for (int i = begin; i < end; ++i) {
+      grad_sum += g[static_cast<std::size_t>(idx_[static_cast<std::size_t>(i)])];
+    }
+    double count = static_cast<double>(end - begin);
+    double leaf_value = grad_sum / (count + cfg.l2_lambda);
+
+    bool at_depth_limit = depth >= cfg.max_depth;
+    bool too_small = end - begin < 2 * cfg.min_samples_leaf;
+    if (at_depth_limit || too_small) {
+      (*nodes)[static_cast<std::size_t>(node_id)].value = leaf_value;
+      return node_id;
+    }
+
+    double parent_score = leaf_score(grad_sum, count, cfg.l2_lambda);
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0;
+
+    if (cfg.split_mode == SplitMode::kExact) {
+      for (int f = 0; f < nf_; ++f) {
+        if (cfg.col_subsample < 1.0 && !rng.next_bool(cfg.col_subsample)) continue;
+        const int* col =
+            &cols_[static_cast<std::size_t>(f) * static_cast<std::size_t>(m_) +
+                   static_cast<std::size_t>(begin)];
+        double left_sum = 0;
+        for (int i = 0; i + 1 < end - begin; ++i) {
+          left_sum += g[static_cast<std::size_t>(col[i])];
+          double xv = xval(col[i], f);
+          double xn = xval(col[i + 1], f);
+          if (xv == xn) continue;  // no split point between equal values
+          double nl = static_cast<double>(i + 1);
+          double nr = count - nl;
+          if (nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf) continue;
+          double gain = leaf_score(left_sum, nl, cfg.l2_lambda) +
+                        leaf_score(grad_sum - left_sum, nr, cfg.l2_lambda) -
+                        parent_score;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = f;
+            best_threshold = 0.5 * (xv + xn);
+          }
+        }
+      }
+    } else {
+      // One O(rows x features) pass fills every feature's (grad, count)
+      // histogram, then each feature is scanned over its <= max_bins_ bins.
+      std::size_t hist_len = static_cast<std::size_t>(nf_) *
+                             static_cast<std::size_t>(max_bins_);
+      std::fill(hist_g_.begin(), hist_g_.begin() + static_cast<std::ptrdiff_t>(hist_len), 0.0);
+      std::fill(hist_c_.begin(), hist_c_.begin() + static_cast<std::ptrdiff_t>(hist_len), 0.0);
+      for (int i = begin; i < end; ++i) {
+        int r = idx_[static_cast<std::size_t>(i)];
+        double gr = g[static_cast<std::size_t>(r)];
+        const std::uint16_t* br =
+            &bin_[static_cast<std::size_t>(r) * static_cast<std::size_t>(nf_)];
+        for (int f = 0; f < nf_; ++f) {
+          std::size_t slot = static_cast<std::size_t>(f) *
+                                 static_cast<std::size_t>(max_bins_) +
+                             br[f];
+          hist_g_[slot] += gr;
+          hist_c_[slot] += 1.0;
+        }
+      }
+      double min_leaf = std::max(1, cfg.min_samples_leaf);
+      for (int f = 0; f < nf_; ++f) {
+        if (cfg.col_subsample < 1.0 && !rng.next_bool(cfg.col_subsample)) continue;
+        const double* hg =
+            &hist_g_[static_cast<std::size_t>(f) * static_cast<std::size_t>(max_bins_)];
+        const double* hc =
+            &hist_c_[static_cast<std::size_t>(f) * static_cast<std::size_t>(max_bins_)];
+        const double* cut = cuts_.data() + cut_begin_[static_cast<std::size_t>(f)];
+        int nc = num_cuts(f);
+        double left_sum = 0, left_cnt = 0;
+        for (int j = 0; j < nc; ++j) {
+          left_sum += hg[j];
+          left_cnt += hc[j];
+          double nl = left_cnt;
+          double nr = count - nl;
+          if (nl < min_leaf || nr < min_leaf) continue;
+          double gain = leaf_score(left_sum, nl, cfg.l2_lambda) +
+                        leaf_score(grad_sum - left_sum, nr, cfg.l2_lambda) -
+                        parent_score;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_feature = f;
+            best_threshold = cut[j];
+          }
+        }
+      }
+    }
+
+    if (best_feature < 0) {
+      (*nodes)[static_cast<std::size_t>(node_id)].value = leaf_value;
+      return node_id;
+    }
+
+    for (int i = begin; i < end; ++i) {
+      int r = idx_[static_cast<std::size_t>(i)];
+      side_[static_cast<std::size_t>(r)] =
+          xval(r, best_feature) <= best_threshold ? 1 : 0;
+    }
+    int mid = stable_partition_segment(idx_, begin, end);
+    if (cfg.split_mode == SplitMode::kExact) {
+      for (int f = 0; f < nf_; ++f) {
+        // Same predicate, same stability: every column splits at `mid`.
+        int col_begin = f * m_ + begin;
+        stable_partition_segment(cols_, col_begin, col_begin + (end - begin));
+      }
+    }
+    if (mid == begin || mid == end) {  // numeric degeneracy: bail to a leaf
+      (*nodes)[static_cast<std::size_t>(node_id)].value = leaf_value;
+      return node_id;
+    }
+
+    int left = build_node(g, begin, mid, depth + 1, cfg, rng, nodes);
+    int right = build_node(g, mid, end, depth + 1, cfg, rng, nodes);
+    RegressionTree::Node& node = (*nodes)[static_cast<std::size_t>(node_id)];
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = left;
+    node.right = right;
+    return node_id;
+  }
+
+  const std::vector<double>& x_;
+  int nf_;
+  GbdtConfig cfg_;
+  std::size_t n_;   ///< rows in the dataset
+  int m_ = 0;       ///< rows sampled into the current tree
+
+  std::vector<int> sorted_;     ///< nf_ columns of n_ rows, (value, row) order
+  std::vector<char> in_tree_;   ///< per-row sample membership scratch
+  std::vector<int> idx_;        ///< current tree's rows, ascending, partitioned
+  std::vector<int> cols_;       ///< exact mode: nf_ x m_ working columns
+  std::vector<int> tmp_;        ///< stable-partition spill buffer
+  std::vector<char> side_;      ///< per-row left/right flag of the active split
+
+  // Histogram mode state.
+  std::vector<double> cuts_;         ///< all features' cut values, flattened
+  std::vector<int> cut_begin_;       ///< nf_+1 offsets into cuts_
+  std::vector<std::uint16_t> bin_;   ///< n_ x nf_ bin index matrix
+  std::vector<double> hist_g_;       ///< nf_ x max_bins_ gradient sums
+  std::vector<double> hist_c_;       ///< nf_ x max_bins_ sample counts
+  int max_bins_ = 1;
+};
+
 }  // namespace
 
 void RegressionTree::fit(const std::vector<double>& x, int num_features,
                          const std::vector<double>& g, const std::vector<int>& idx,
                          const GbdtConfig& cfg, Rng& rng) {
-  nodes_.clear();
-  std::vector<int> work = idx;
-  if (!work.empty()) {
-    build(x, num_features, g, work, 0, static_cast<int>(work.size()), 0, cfg, rng);
-  }
-}
-
-int RegressionTree::build(const std::vector<double>& x, int num_features,
-                          const std::vector<double>& g, std::vector<int>& idx,
-                          int begin, int end, int depth, const GbdtConfig& cfg,
-                          Rng& rng) {
-  int node_id = static_cast<int>(nodes_.size());
-  nodes_.push_back({});
-
-  double grad_sum = 0;
-  for (int i = begin; i < end; ++i) grad_sum += g[static_cast<std::size_t>(idx[i])];
-  double count = static_cast<double>(end - begin);
-  double leaf_value = grad_sum / (count + cfg.l2_lambda);
-
-  bool at_depth_limit = depth >= cfg.max_depth;
-  bool too_small = end - begin < 2 * cfg.min_samples_leaf;
-  if (at_depth_limit || too_small) {
-    nodes_[static_cast<std::size_t>(node_id)].value = leaf_value;
-    return node_id;
-  }
-
-  double parent_score = leaf_score(grad_sum, count, cfg.l2_lambda);
-  double best_gain = 1e-12;
-  int best_feature = -1;
-  double best_threshold = 0;
-
-  std::vector<int> order(idx.begin() + begin, idx.begin() + end);
-  for (int f = 0; f < num_features; ++f) {
-    if (cfg.col_subsample < 1.0 && !rng.next_bool(cfg.col_subsample)) continue;
-    std::sort(order.begin(), order.end(), [&](int a, int b) {
-      return x[static_cast<std::size_t>(a) * num_features + f] <
-             x[static_cast<std::size_t>(b) * num_features + f];
-    });
-    double left_sum = 0;
-    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
-      left_sum += g[static_cast<std::size_t>(order[i])];
-      double xv = x[static_cast<std::size_t>(order[i]) * num_features + f];
-      double xn = x[static_cast<std::size_t>(order[i + 1]) * num_features + f];
-      if (xv == xn) continue;  // no split point between equal values
-      double nl = static_cast<double>(i + 1);
-      double nr = count - nl;
-      if (nl < cfg.min_samples_leaf || nr < cfg.min_samples_leaf) continue;
-      double gain = leaf_score(left_sum, nl, cfg.l2_lambda) +
-                    leaf_score(grad_sum - left_sum, nr, cfg.l2_lambda) - parent_score;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = 0.5 * (xv + xn);
-      }
-    }
-  }
-
-  if (best_feature < 0) {
-    nodes_[static_cast<std::size_t>(node_id)].value = leaf_value;
-    return node_id;
-  }
-
-  auto mid_it = std::partition(idx.begin() + begin, idx.begin() + end, [&](int i) {
-    return x[static_cast<std::size_t>(i) * num_features + best_feature] <=
-           best_threshold;
-  });
-  int mid = static_cast<int>(mid_it - idx.begin());
-  if (mid == begin || mid == end) {  // numeric degeneracy: bail to a leaf
-    nodes_[static_cast<std::size_t>(node_id)].value = leaf_value;
-    return node_id;
-  }
-
-  int left = build(x, num_features, g, idx, begin, mid, depth + 1, cfg, rng);
-  int right = build(x, num_features, g, idx, mid, end, depth + 1, cfg, rng);
-  Node& node = nodes_[static_cast<std::size_t>(node_id)];
-  node.feature = best_feature;
-  node.threshold = best_threshold;
-  node.left = left;
-  node.right = right;
-  return node_id;
+  TreeBuilder builder(x, num_features, cfg);
+  builder.build_tree(g, idx, cfg, rng, this);
 }
 
 double RegressionTree::predict(const double* row) const {
@@ -115,38 +322,121 @@ Gbdt::Gbdt(GbdtConfig cfg) : cfg_(cfg) {}
 
 void Gbdt::fit(const std::vector<double>& x, int num_features,
                const std::vector<double>& y) {
-  trees_.clear();
+  flat_feature_.clear();
+  flat_thresh_.clear();
+  flat_child_.clear();
+  flat_root_.clear();
+  num_trees_fit_ = 0;
   num_features_ = num_features;
+  base_score_ = 0;
+  pred_.clear();
   std::size_t n = y.size();
   if (n == 0) return;
   base_score_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  pred_.assign(n, base_score_);
+  rng_ = Rng(cfg_.seed);
+  boost(x, num_features, y, cfg_.num_trees);
+}
 
-  std::vector<double> pred(n, base_score_);
+void Gbdt::fit_more(const std::vector<double>& x, int num_features,
+                    const std::vector<double>& y, int extra_trees) {
+  if (!trained() || num_features != num_features_) {
+    fit(x, num_features, y);
+    return;
+  }
+  std::size_t n = y.size();
+  if (n == 0) return;
+  // The training window may have grown or slid since the last fit:
+  // re-baseline the running predictions from the current ensemble.
+  pred_.resize(n);
+  predict_batch(x.data(), n, pred_.data());
+  boost(x, num_features, y, extra_trees);
+}
+
+void Gbdt::boost(const std::vector<double>& x, int num_features,
+                 const std::vector<double>& y, int rounds) {
+  std::size_t n = y.size();
+  TreeBuilder builder(x, num_features, cfg_);
   std::vector<double> grad(n);
-  Rng rng(cfg_.seed);
-  for (int t = 0; t < cfg_.num_trees; ++t) {
-    for (std::size_t i = 0; i < n; ++i) grad[i] = y[i] - pred[i];
-    std::vector<int> idx;
-    idx.reserve(n);
+  std::vector<int> idx;
+  idx.reserve(n);
+  RegressionTree tree;
+  for (int t = 0; t < rounds; ++t) {
+    for (std::size_t i = 0; i < n; ++i) grad[i] = y[i] - pred_[i];
+    idx.clear();
     for (std::size_t i = 0; i < n; ++i) {
-      if (cfg_.row_subsample >= 1.0 || rng.next_bool(cfg_.row_subsample)) {
+      if (cfg_.row_subsample >= 1.0 || rng_.next_bool(cfg_.row_subsample)) {
         idx.push_back(static_cast<int>(i));
       }
     }
     if (idx.size() < 2) continue;
-    RegressionTree tree;
-    tree.fit(x, num_features, grad, idx, cfg_, rng);
+    builder.build_tree(grad, idx, cfg_, rng_, &tree);
     for (std::size_t i = 0; i < n; ++i) {
-      pred[i] += cfg_.learning_rate * tree.predict(&x[i * static_cast<std::size_t>(num_features)]);
+      pred_[i] += cfg_.learning_rate *
+                  tree.predict(&x[i * static_cast<std::size_t>(num_features)]);
     }
-    trees_.push_back(std::move(tree));
+    flatten(tree);
+    ++num_trees_fit_;
   }
 }
 
-double Gbdt::predict(const double* row) const {
+void Gbdt::flatten(const RegressionTree& tree) {
+  const std::vector<RegressionTree::Node>& nodes = tree.nodes();
+  auto alloc = [&]() {
+    int at = static_cast<int>(flat_feature_.size());
+    flat_feature_.push_back(-1);
+    flat_thresh_.push_back(0);
+    flat_child_.push_back(-1);
+    return at;
+  };
+  int root = alloc();
+  flat_root_.push_back(root);
+  if (nodes.empty()) return;  // empty tree contributes a zero-value leaf
+  // Breadth-first relayout with siblings adjacent: an internal node's right
+  // child always lives at flat_child_ + 1.
+  std::vector<std::pair<int, int>> queue;  // (source node, flat slot)
+  queue.reserve(nodes.size());
+  queue.push_back({0, root});
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    auto [src, slot] = queue[qi];
+    const RegressionTree::Node& nd = nodes[static_cast<std::size_t>(src)];
+    if (nd.feature < 0) {
+      flat_thresh_[static_cast<std::size_t>(slot)] = nd.value;
+      continue;
+    }
+    int left = alloc();
+    alloc();  // right child at left + 1
+    flat_feature_[static_cast<std::size_t>(slot)] = nd.feature;
+    flat_thresh_[static_cast<std::size_t>(slot)] = nd.threshold;
+    flat_child_[static_cast<std::size_t>(slot)] = left;
+    queue.push_back({nd.left, left});
+    queue.push_back({nd.right, left + 1});
+  }
+}
+
+double Gbdt::predict_flat(const double* row) const {
   double p = base_score_;
-  for (const RegressionTree& t : trees_) p += cfg_.learning_rate * t.predict(row);
+  const int* feature = flat_feature_.data();
+  const double* thresh = flat_thresh_.data();
+  const int* child = flat_child_.data();
+  for (int root : flat_root_) {
+    int cur = root;
+    int f = feature[cur];
+    while (f >= 0) {
+      cur = child[cur] + (row[f] > thresh[cur] ? 1 : 0);
+      f = feature[cur];
+    }
+    p += cfg_.learning_rate * thresh[cur];
+  }
   return p;
+}
+
+double Gbdt::predict(const double* row) const { return predict_flat(row); }
+
+void Gbdt::predict_batch(const double* rows, std::size_t n, double* out) const {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = predict_flat(rows + i * static_cast<std::size_t>(num_features_));
+  }
 }
 
 }  // namespace harl

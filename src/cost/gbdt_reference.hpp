@@ -1,0 +1,68 @@
+#pragma once
+
+#include <vector>
+
+#include "cost/gbdt.hpp"
+#include "util/rng.hpp"
+
+namespace harl {
+namespace reference {
+
+/// The seed GBDT implementation, kept verbatim in spirit as a differential
+/// oracle and benchmark baseline for the pre-sorted rewrite in `Gbdt`:
+/// exact greedy splits that re-sort the node's samples for every feature at
+/// every node, per-tree pointer-free but per-tree-object inference.
+///
+/// Two orderings the original left to the standard library are pinned so the
+/// oracle is well-defined (and therefore bit-comparable) on any input:
+///   - per-node feature sorts break ties by row index,
+///   - the post-split index partition is stable.
+/// `Gbdt` in exact mode pins the same orders, so `ReferenceGbdt` and `Gbdt`
+/// must agree bit-for-bit on every tree, threshold and prediction — the
+/// test suite and `bench_cost_model` enforce exactly that.
+class ReferenceRegressionTree {
+ public:
+  void fit(const std::vector<double>& x, int num_features,
+           const std::vector<double>& g, const std::vector<int>& idx,
+           const GbdtConfig& cfg, Rng& rng);
+
+  double predict(const double* row) const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0;
+    double value = 0;
+    int left = -1;
+    int right = -1;
+  };
+
+  int build(const std::vector<double>& x, int num_features,
+            const std::vector<double>& g, std::vector<int>& idx, int begin, int end,
+            int depth, const GbdtConfig& cfg, Rng& rng);
+
+  std::vector<Node> nodes_;
+};
+
+class ReferenceGbdt {
+ public:
+  explicit ReferenceGbdt(GbdtConfig cfg = {});
+
+  void fit(const std::vector<double>& x, int num_features,
+           const std::vector<double>& y);
+  double predict(const double* row) const;
+
+  bool trained() const { return !trees_.empty(); }
+  int num_trees_fit() const { return static_cast<int>(trees_.size()); }
+  int total_nodes() const;
+
+ private:
+  GbdtConfig cfg_;
+  double base_score_ = 0;
+  int num_features_ = 0;
+  std::vector<ReferenceRegressionTree> trees_;
+};
+
+}  // namespace reference
+}  // namespace harl

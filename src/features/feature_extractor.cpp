@@ -3,25 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
 namespace harl {
 
 namespace {
 
 double log2p1(double x) { return std::log2(1.0 + std::max(0.0, x)); }
 
-/// Per-axis inner sizes of a stage at a given spatial/reduction level pair.
-std::vector<std::int64_t> inner_sizes(const TensorOp& op, const StageSchedule& ss,
-                                      int spatial_level, int reduction_level) {
-  std::vector<std::int64_t> sizes(op.axes.size(), 1);
+/// Per-axis inner sizes of a stage at a given spatial/reduction level pair,
+/// written into caller-provided scratch (no allocation).
+void inner_sizes(const TensorOp& op, const StageSchedule& ss, int spatial_level,
+                 int reduction_level, std::int64_t* sizes) {
   for (std::size_t a = 0; a < op.axes.size(); ++a) {
     const TileVector& t = ss.tiles[a];
     int lvl = op.axes[a].kind == AxisKind::kSpatial ? spatial_level : reduction_level;
     sizes[a] = t.inner_size(std::min(lvl, t.levels()));
   }
-  return sizes;
 }
 
-double footprint_at(const TensorOp& op, const std::vector<std::int64_t>& inner) {
+/// One slot's RL feature: log2(factor) normalized by the axis extent.
+double slot_feature(const Schedule& sched, const TileSlot& slot) {
+  const TileVector& t =
+      sched.stage(slot.stage).tiles[static_cast<std::size_t>(slot.axis)];
+  double extent = static_cast<double>(t.product());
+  double f = static_cast<double>(t.factors[static_cast<std::size_t>(slot.level)]);
+  return extent > 1 ? std::log2(f) / std::log2(extent) : 0.0;
+}
+
+double footprint_at(const TensorOp& op, const std::int64_t* inner) {
   double bytes = 0;
   for (const TensorAccess& in : op.inputs) {
     bytes += static_cast<double>(in.tile_bytes(inner));
@@ -129,10 +140,15 @@ void FeatureExtractor::extract_into(const Schedule& sched, double* out) const {
 
   // --- Working-set-to-cache ratios (22..30) ----------------------------------
   // Footprints at three representative blocking depths vs each cache level.
-  double fp_inner = footprint_at(op, inner_sizes(op, ss, kSpatialTileLevels - 1,
-                                                 kReductionTileLevels));
-  double fp_mid = footprint_at(op, inner_sizes(op, ss, 2, 1));
-  double fp_outer = footprint_at(op, inner_sizes(op, ss, 1, 0));
+  HARL_CHECK(op.axes.size() <= static_cast<std::size_t>(kMaxAxes),
+             "operator exceeds FeatureExtractor::kMaxAxes");
+  std::int64_t scratch[kMaxAxes];
+  inner_sizes(op, ss, kSpatialTileLevels - 1, kReductionTileLevels, scratch);
+  double fp_inner = footprint_at(op, scratch);
+  inner_sizes(op, ss, 2, 1, scratch);
+  double fp_mid = footprint_at(op, scratch);
+  inner_sizes(op, ss, 1, 0, scratch);
+  double fp_outer = footprint_at(op, scratch);
   int fi = 22;
   for (std::size_t c = 0; c + 1 < hw.levels.size() && fi < 31; ++c) {
     double cap = hw.levels[c].capacity_bytes;
@@ -141,7 +157,7 @@ void FeatureExtractor::extract_into(const Schedule& sched, double* out) const {
     out[fi++] = std::min(8.0, fp_outer / cap);
   }
 
-  // --- Per-axis innermost factors (31..38), up to 4 spatial + 2 reduction ---
+  // --- Per-axis innermost factors (31..36), up to 4 spatial + 2 reduction ---
   int si = 31;
   int ri = 35;
   for (std::size_t a = 0; a < op.axes.size(); ++a) {
@@ -178,39 +194,56 @@ std::vector<double> FeatureExtractor::extract(const Schedule& sched) const {
   return out;
 }
 
+void FeatureExtractor::extract_matrix_into(const std::vector<Schedule>& scheds,
+                                           double* out, ThreadPool* pool) const {
+  constexpr std::size_t kW = kNumFeatures;
+  if (pool != nullptr && scheds.size() > 1) {
+    pool->parallel_for(scheds.size(), [&](std::size_t i) {
+      extract_into(scheds[i], out + i * kW);
+    });
+  } else {
+    for (std::size_t i = 0; i < scheds.size(); ++i) {
+      extract_into(scheds[i], out + i * kW);
+    }
+  }
+}
+
 std::vector<double> slot_features(const Schedule& sched,
                                   const std::vector<TileSlot>& slots) {
   std::vector<double> out;
   out.reserve(slots.size());
-  for (const TileSlot& slot : slots) {
-    const TileVector& t =
-        sched.stage(slot.stage).tiles[static_cast<std::size_t>(slot.axis)];
-    double extent = static_cast<double>(t.product());
-    double f = static_cast<double>(t.factors[static_cast<std::size_t>(slot.level)]);
-    out.push_back(extent > 1 ? std::log2(f) / std::log2(extent) : 0.0);
-  }
+  for (const TileSlot& slot : slots) out.push_back(slot_feature(sched, slot));
   return out;
+}
+
+void rl_observation_into(const FeatureExtractor& fx, const ActionSpace& space,
+                         const Schedule& sched, std::vector<double>& out) {
+  const std::vector<TileSlot>& slots = space.slots();
+  out.resize(static_cast<std::size_t>(FeatureExtractor::kNumFeatures) +
+             slots.size() + 3);
+  fx.extract_into(sched, out.data());
+  std::size_t p = FeatureExtractor::kNumFeatures;
+  for (const TileSlot& slot : slots) out[p++] = slot_feature(sched, slot);
+  const Sketch& sk = space.sketch();
+  int ca_stage = sk.primary_compute_at_stage;
+  out[p++] = ca_stage >= 0 ? static_cast<double>(sched.stage(ca_stage).compute_at) /
+                                 (kComputeAtCandidates - 1)
+                           : 0.0;
+  int anchor = sk.graph->anchor_stage();
+  const TensorOp& aop = sk.graph->stage(anchor).op;
+  const StageSchedule& ass = sched.stage(anchor);
+  out[p++] = static_cast<double>(ass.parallel_depth) /
+             std::max(1, aop.num_spatial_axes());
+  out[p++] = space.num_unroll_options() > 1
+                 ? static_cast<double>(ass.unroll_index) /
+                       (space.num_unroll_options() - 1)
+                 : 0.0;
 }
 
 std::vector<double> rl_observation(const FeatureExtractor& fx, const ActionSpace& space,
                                    const Schedule& sched) {
-  std::vector<double> obs = fx.extract(sched);
-  std::vector<double> slots = slot_features(sched, space.slots());
-  obs.insert(obs.end(), slots.begin(), slots.end());
-  const Sketch& sk = space.sketch();
-  int ca_stage = sk.primary_compute_at_stage;
-  obs.push_back(ca_stage >= 0 ? static_cast<double>(sched.stage(ca_stage).compute_at) /
-                                    (kComputeAtCandidates - 1)
-                              : 0.0);
-  int anchor = sk.graph->anchor_stage();
-  const TensorOp& aop = sk.graph->stage(anchor).op;
-  const StageSchedule& ass = sched.stage(anchor);
-  obs.push_back(static_cast<double>(ass.parallel_depth) /
-                std::max(1, aop.num_spatial_axes()));
-  obs.push_back(space.num_unroll_options() > 1
-                    ? static_cast<double>(ass.unroll_index) /
-                          (space.num_unroll_options() - 1)
-                    : 0.0);
+  std::vector<double> obs;
+  rl_observation_into(fx, space, sched, obs);
   return obs;
 }
 

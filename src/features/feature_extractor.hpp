@@ -8,6 +8,8 @@
 
 namespace harl {
 
+class ThreadPool;
+
 /// Ansor-style schedule featurization for the learned cost model and the RL
 /// agent's observation.
 ///
@@ -18,15 +20,28 @@ namespace harl {
 /// Deliberately *not* the simulator's full traffic model: the cost model has
 /// to learn the landscape from measurements (as XGBoost does in the paper),
 /// not read it off a feature.
+///
+/// `extract_into` performs no heap allocation (fixed stack scratch), so the
+/// batched `extract_matrix_into` can fan schedules out across a pool with
+/// every worker writing straight into its row of one flat matrix.
 class FeatureExtractor {
  public:
   static constexpr int kNumFeatures = 48;
+  /// Upper bound on iteration axes per operator supported by the
+  /// allocation-free scratch (largest real workload, conv3d, has 11).
+  static constexpr int kMaxAxes = 16;
 
   explicit FeatureExtractor(const HardwareConfig* hw) : hw_(hw) {}
 
   /// Feature vector of fixed length kNumFeatures.
   std::vector<double> extract(const Schedule& sched) const;
   void extract_into(const Schedule& sched, double* out) const;
+
+  /// Fill `out` (row-major, scheds.size() x kNumFeatures) with one feature
+  /// row per schedule.  With a pool, rows are extracted in parallel; results
+  /// are indexed by position, so the fill is deterministic either way.
+  void extract_matrix_into(const std::vector<Schedule>& scheds, double* out,
+                           ThreadPool* pool = nullptr) const;
 
   const HardwareConfig& hardware() const { return *hw_; }
 
@@ -45,5 +60,11 @@ std::vector<double> slot_features(const Schedule& sched,
 /// Dimension: FeatureExtractor::kNumFeatures + slots.size() + 3.
 std::vector<double> rl_observation(const FeatureExtractor& fx, const ActionSpace& space,
                                    const Schedule& sched);
+
+/// In-place variant: resizes `out` to the observation dimension and fills it
+/// without further allocation when the caller reuses the buffer across steps
+/// (the HARL tune-round inner loop does).
+void rl_observation_into(const FeatureExtractor& fx, const ActionSpace& space,
+                         const Schedule& sched, std::vector<double>& out);
 
 }  // namespace harl

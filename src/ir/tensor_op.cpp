@@ -21,6 +21,10 @@ const char* op_kind_name(OpKind kind) {
 }
 
 std::int64_t DimExpr::footprint(const std::vector<std::int64_t>& tile_sizes) const {
+  return footprint(tile_sizes.data());
+}
+
+std::int64_t DimExpr::footprint(const std::int64_t* tile_sizes) const {
   std::int64_t extent = 1;
   for (const Term& t : terms) {
     extent += t.coeff * (tile_sizes[static_cast<std::size_t>(t.axis)] - 1);
@@ -35,12 +39,20 @@ DimExpr DimExpr::of_axis(int axis, std::int64_t coeff) {
 }
 
 std::int64_t TensorAccess::tile_elems(const std::vector<std::int64_t>& tile_sizes) const {
+  return tile_elems(tile_sizes.data());
+}
+
+std::int64_t TensorAccess::tile_elems(const std::int64_t* tile_sizes) const {
   std::int64_t n = 1;
   for (const DimExpr& d : dims) n *= d.footprint(tile_sizes);
   return n;
 }
 
 std::int64_t TensorAccess::tile_bytes(const std::vector<std::int64_t>& tile_sizes) const {
+  return tile_elems(tile_sizes.data()) * elem_bytes;
+}
+
+std::int64_t TensorAccess::tile_bytes(const std::int64_t* tile_sizes) const {
   return tile_elems(tile_sizes) * elem_bytes;
 }
 

@@ -43,6 +43,7 @@ struct DimExpr {
 
   /// Footprint extent for the given per-axis tile sizes.
   std::int64_t footprint(const std::vector<std::int64_t>& tile_sizes) const;
+  std::int64_t footprint(const std::int64_t* tile_sizes) const;
 
   /// Convenience: a dimension that is exactly one axis.
   static DimExpr of_axis(int axis, std::int64_t coeff = 1);
@@ -55,8 +56,12 @@ struct TensorAccess {
   int elem_bytes = 4;          ///< fp32 by default
 
   /// Number of elements touched by a tile with the given per-axis sizes.
+  /// The pointer overloads (one entry per op axis) are the allocation-free
+  /// path the feature extractor's hot loop uses.
   std::int64_t tile_elems(const std::vector<std::int64_t>& tile_sizes) const;
+  std::int64_t tile_elems(const std::int64_t* tile_sizes) const;
   std::int64_t tile_bytes(const std::vector<std::int64_t>& tile_sizes) const;
+  std::int64_t tile_bytes(const std::int64_t* tile_sizes) const;
 };
 
 /// A single tensor computation stage (one output tensor).

@@ -41,11 +41,13 @@ std::vector<MeasuredRecord> AnsorSearchPolicy::tune_round(Measurer& measurer,
   }
 
   std::vector<ScoredCandidate> visited;
+  visited.reserve(static_cast<std::size_t>(cfg_.population) *
+                  (static_cast<std::size_t>(cfg_.generations) + 1));
+  std::vector<Schedule> scoring_batch;  // reused across generations
   auto score_population = [&]() {
-    std::vector<Schedule> scheds;
-    scheds.reserve(pop.size());
-    for (const Individual& ind : pop) scheds.push_back(ind.sched);
-    std::vector<double> scores = cost.predict_batch(scheds);
+    scoring_batch.resize(pop.size());
+    for (std::size_t i = 0; i < pop.size(); ++i) scoring_batch[i] = pop[i].sched;
+    std::vector<double> scores = cost.predict_batch(scoring_batch);
     for (std::size_t i = 0; i < pop.size(); ++i) {
       pop[i].score = scores[i];
       visited.push_back({pop[i].sched, scores[i]});

@@ -24,12 +24,16 @@ std::vector<MeasuredRecord> AutoTvmSearchPolicy::tune_round(Measurer& measurer,
 
   std::vector<double> scores = cost.predict_batch(walkers_);
   std::vector<ScoredCandidate> visited;
+  visited.reserve(walkers_.size() *
+                  (static_cast<std::size_t>(cfg_.steps_per_round) + 1));
   for (std::size_t i = 0; i < walkers_.size(); ++i) {
     visited.push_back({walkers_[i], scores[i]});
   }
 
+  std::vector<Schedule> proposals;  // reused across SA steps
   for (int step = 0; step < cfg_.steps_per_round; ++step) {
-    std::vector<Schedule> proposals = walkers_;
+    proposals.resize(walkers_.size());
+    for (std::size_t i = 0; i < walkers_.size(); ++i) proposals[i] = walkers_[i];
     for (Schedule& s : proposals) space.mutate(&s, rng_);
     std::vector<double> prop_scores = cost.predict_batch(proposals);
     for (std::size_t i = 0; i < walkers_.size(); ++i) {

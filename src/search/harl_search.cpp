@@ -96,14 +96,25 @@ std::vector<MeasuredRecord> HarlSearchPolicy::tune_round(Measurer& measurer,
     last_round_max_len_ = std::max(last_round_max_len_, t.steps);
   };
 
+  // Per-window scratch, hoisted so every step reuses the same schedule /
+  // observation / mask buffers instead of reallocating them (the loop runs
+  // hundreds of times per round; Schedule copies are the dominant churn).
+  std::vector<Schedule> next_scheds;
+  std::vector<std::vector<double>> next_obs;
+  std::vector<PpoAgent::ActResult> acts;
+  std::vector<std::vector<bool>> masks;
+  std::vector<double> next_scores;
+  std::vector<int> valid;
+  std::vector<double> advantages;
+
   bool episode_done = false;
   while (!episode_done) {
     // One lambda-window of modification steps on all alive tracks.
     for (int w = 0; w < cfg_.stop.window && !episode_done; ++w) {
-      std::vector<Schedule> next_scheds(alive.size());
-      std::vector<std::vector<double>> next_obs(alive.size());
-      std::vector<PpoAgent::ActResult> acts(alive.size());
-      std::vector<std::vector<bool>> masks(alive.size());
+      next_scheds.resize(alive.size());
+      next_obs.resize(alive.size());
+      acts.resize(alive.size());
+      masks.resize(alive.size());
 
       for (std::size_t k = 0; k < alive.size(); ++k) {
         Track& t = tracks[static_cast<std::size_t>(alive[k])];
@@ -112,7 +123,7 @@ std::vector<MeasuredRecord> HarlSearchPolicy::tune_round(Measurer& measurer,
           acts[k] = agent_ptr->act(t.obs, masks[k], rng_);
         } else {
           // RL ablation: uniform random valid sub-action per head.
-          std::vector<int> valid;
+          valid.clear();
           for (std::size_t a = 0; a < masks[k].size(); ++a) {
             if (masks[k][a]) valid.push_back(static_cast<int>(a));
           }
@@ -123,16 +134,15 @@ std::vector<MeasuredRecord> HarlSearchPolicy::tune_round(Measurer& measurer,
           acts[k].logp = 0;
           acts[k].value = 0;
         }
-        Schedule next = t.sched;
+        next_scheds[k] = t.sched;  // copy-assign into the reused buffer
         JointAction ja{};
         for (int h = 0; h < kNumActionHeads; ++h) ja[static_cast<std::size_t>(h)] =
             acts[k].actions[static_cast<std::size_t>(h)];
-        space.apply(&next, ja);
-        next_obs[k] = rl_observation(fx_, space, next);
-        next_scheds[k] = std::move(next);
+        space.apply(&next_scheds[k], ja);
+        rl_observation_into(fx_, space, next_scheds[k], next_obs[k]);
       }
 
-      std::vector<double> next_scores = cost.predict_batch(next_scheds);
+      next_scores = cost.predict_batch(next_scheds);
 
       for (std::size_t k = 0; k < alive.size(); ++k) {
         Track& t = tracks[static_cast<std::size_t>(alive[k])];
@@ -158,8 +168,10 @@ std::vector<MeasuredRecord> HarlSearchPolicy::tune_round(Measurer& measurer,
         }
 
         candidates.push_back({next_scheds[k], next_scores[k]});
-        t.sched = std::move(next_scheds[k]);
-        t.obs = std::move(next_obs[k]);
+        // Swap (not move) so the track's old buffers stay live for reuse on
+        // the next step.
+        std::swap(t.sched, next_scheds[k]);
+        std::swap(t.obs, next_obs[k]);
         t.score = next_scores[k];
         ++t.steps;
         if (next_scores[k] > t.best_score) {
@@ -179,7 +191,7 @@ std::vector<MeasuredRecord> HarlSearchPolicy::tune_round(Measurer& measurer,
     if (cfg_.stop.enabled) {
       // --- Adaptive stopping (Section 5): advantage-ranked elimination ----
       if (static_cast<int>(alive.size()) <= cfg_.stop.min_tracks) break;
-      std::vector<double> advantages(alive.size());
+      advantages.resize(alive.size());
       for (std::size_t k = 0; k < alive.size(); ++k) {
         advantages[k] = tracks[static_cast<std::size_t>(alive[k])].advantage;
       }

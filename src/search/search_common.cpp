@@ -6,8 +6,9 @@
 
 namespace harl {
 
-TaskState::TaskState(const Subgraph* graph, const HardwareConfig* hw)
-    : graph_(graph), hw_(hw), cost_model_(hw) {
+TaskState::TaskState(const Subgraph* graph, const HardwareConfig* hw,
+                     CostModelConfig cost_cfg)
+    : graph_(graph), hw_(hw), cost_model_(hw, cost_cfg) {
   sketches_ = generate_sketches(*graph);
   HARL_CHECK(!sketches_.empty(), "subgraph produced no sketches");
   spaces_.reserve(sketches_.size());
@@ -67,10 +68,13 @@ std::vector<Schedule> select_top_k(const TaskState& task,
     }
   }
   // Epsilon slots: uniform picks from the non-elite remainder (exploration).
+  // Swap-with-back removal keeps the loop O(k) instead of O(k * n); the
+  // picks stay uniform over the remaining candidates.
   while (static_cast<int>(picked.size()) < k && !rest.empty()) {
     std::size_t j = rng.pick_index(rest.size());
     picked.push_back(rest[j]->sched);
-    rest.erase(rest.begin() + static_cast<std::ptrdiff_t>(j));
+    rest[j] = rest.back();
+    rest.pop_back();
   }
   return picked;
 }

@@ -34,7 +34,8 @@ struct CurvePoint {
 /// measurement history.  Non-copyable (action spaces point into `sketches`).
 class TaskState {
  public:
-  TaskState(const Subgraph* graph, const HardwareConfig* hw);
+  TaskState(const Subgraph* graph, const HardwareConfig* hw,
+            CostModelConfig cost_cfg = {});
   TaskState(const TaskState&) = delete;
   TaskState& operator=(const TaskState&) = delete;
 

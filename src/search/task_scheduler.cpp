@@ -65,7 +65,8 @@ TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
       task_mab_(std::max<int>(1, static_cast<int>(net->subgraphs.size())),
                 opts.task_ucb) {
   for (std::size_t n = 0; n < net_->subgraphs.size(); ++n) {
-    tasks_.push_back(std::make_unique<TaskState>(&net_->subgraphs[n], hw_));
+    tasks_.push_back(
+        std::make_unique<TaskState>(&net_->subgraphs[n], hw_, opts_.cost_model));
     tasks_.back()->set_pool(opts_.pool);
     SearchOptions per_task = opts_;
     per_task.seed = opts_.seed + 1000003ULL * (n + 1);

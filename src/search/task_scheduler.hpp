@@ -50,6 +50,11 @@ struct SearchOptions {
 
   int measures_per_round = 10;  ///< K of the top-K selection phase
 
+  /// Per-task learned cost model: GBDT shape/split-mode knobs plus the
+  /// refit policy (`refit_period`/`warm_trees` enable warm-start boosting
+  /// between full refits).
+  CostModelConfig cost_model;
+
   // Eq. 3 gradient parameters (Table 5).
   double gradient_alpha = 0.2;
   double gradient_beta = 2.0;

@@ -115,6 +115,87 @@ TEST_F(CostModelFixture, IgnoresNonPositiveTimes) {
   EXPECT_EQ(model.num_samples(), 4u);
 }
 
+TEST_F(CostModelFixture, PredictBatchBitMatchesScalarPredict) {
+  auto [ss, ts] = sample(120);
+  model.update(ss, ts);
+  auto [fresh, fresh_ts] = sample(60);
+  auto batch = model.predict_batch(fresh);
+  ASSERT_EQ(batch.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    ASSERT_EQ(batch[i], model.predict(fresh[i])) << "schedule " << i;
+  }
+}
+
+TEST_F(CostModelFixture, WarmStartKeepsRankingQuality) {
+  CostModelConfig cfg;
+  cfg.refit_period = 4;
+  cfg.warm_trees = 8;
+  XgbCostModel warm(&hw, cfg);
+  for (int round = 0; round < 8; ++round) {
+    auto [ss, ts] = sample(60);
+    warm.update(ss, ts);
+  }
+  EXPECT_TRUE(warm.trained());
+  auto [fresh, fresh_ts] = sample(100);
+  auto pred = warm.predict_batch(fresh);
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    for (std::size_t j = i + 1; j < fresh.size(); ++j) {
+      ++total;
+      concordant += ((fresh_ts[i] < fresh_ts[j]) == (pred[i] > pred[j]));
+    }
+  }
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.7);
+  for (double p : pred) {
+    ASSERT_GE(p, XgbCostModel::kMinScore);
+    ASSERT_LE(p, 1.5);
+  }
+}
+
+TEST_F(CostModelFixture, WarmStartGrowsEnsembleBetweenFullRefits) {
+  CostModelConfig cfg;
+  cfg.refit_period = 100;  // effectively never periodic within this test
+  cfg.warm_trees = 5;
+  XgbCostModel warm(&hw, cfg);
+  // Seed a best time the later batches cannot beat, so updates after the
+  // first take the warm path (full refits are forced only when the best
+  // improves or the period elapses).
+  auto [s0, t0] = sample(40);
+  warm.update(s0, t0);
+  int trees_after_full = warm.num_trees();
+  EXPECT_EQ(trees_after_full, warm.config().gbdt.num_trees);
+  double best = warm.best_time_ms();
+  bool saw_warm_update = false;
+  for (int round = 0; round < 4; ++round) {
+    auto [ss, ts] = sample(40);
+    for (double& t : ts) t = std::max(t, best * 2);  // never a new best
+    warm.update(ss, ts);
+    if (warm.best_time_ms() == best) {
+      saw_warm_update = true;
+      EXPECT_GT(warm.num_trees(), trees_after_full);
+    }
+  }
+  EXPECT_TRUE(saw_warm_update);
+}
+
+TEST_F(CostModelFixture, HistogramSplitModeRanksWell) {
+  CostModelConfig cfg;
+  cfg.gbdt.split_mode = SplitMode::kHistogram;
+  XgbCostModel hist(&hw, cfg);
+  auto [ss, ts] = sample(300);
+  hist.update(ss, ts);
+  auto [fresh, fresh_ts] = sample(100);
+  auto pred = hist.predict_batch(fresh);
+  int concordant = 0, total = 0;
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    for (std::size_t j = i + 1; j < fresh.size(); ++j) {
+      ++total;
+      concordant += ((fresh_ts[i] < fresh_ts[j]) == (pred[i] > pred[j]));
+    }
+  }
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.7);
+}
+
 TEST_F(CostModelFixture, SampleCapBoundsMemory) {
   // Push more than kMaxSamples and confirm the window slides.
   for (int round = 0; round < 6; ++round) {

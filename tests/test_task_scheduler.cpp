@@ -207,6 +207,62 @@ TEST_F(SchedulerFixture, CacheHitsKeepAllocationInvariant) {
   EXPECT_GE(measurer.trials_used(), 60);
 }
 
+TEST_F(SchedulerFixture, WarmStartRefitKeepsAllocationInvariant) {
+  // Warm-start refits (refit_period > 1) change only how the cost model
+  // retrains; trial accounting must stay exact, including with the measure
+  // cache replaying records.
+  measurer.enable_cache(4096);
+  SearchOptions opts = tiny_options(PolicyKind::kAnsor);
+  opts.cost_model.refit_period = 4;
+  opts.cost_model.warm_trees = 6;
+  TaskScheduler sched(&net, &hw, opts);
+  sched.run(measurer, 60);
+  auto alloc = sched.task_allocations();
+  std::int64_t total = 0;
+  for (std::int64_t a : alloc) total += a;
+  EXPECT_EQ(total, measurer.trials_used());
+  EXPECT_GE(measurer.trials_used(), 60);
+}
+
+// Same acceptance property as ParallelRunBitIdenticalToSerial, but with the
+// new cost-model knobs (warm start + histogram splits) both engaged.
+TEST(SchedulerDeterminism, WarmStartHistogramRunBitIdenticalToSerial) {
+  Network net = tiny_network();
+  HardwareConfig hw = HardwareConfig::xeon_6226r();
+  hw.noise_sigma = 0.05;
+
+  auto run_one = [&](ThreadPool* pool) {
+    SearchOptions opts = tiny_options(PolicyKind::kHarl);
+    opts.pool = pool;
+    opts.cost_model.refit_period = 3;
+    opts.cost_model.gbdt.split_mode = SplitMode::kHistogram;
+    CostSimulator sim(hw);
+    Measurer measurer(&sim, 9);
+    measurer.set_pool(pool);
+    measurer.enable_cache(opts.measure_cache_capacity);
+    TaskScheduler sched(&net, &hw, opts);
+    sched.run(measurer, 60);
+    std::vector<double> bests;
+    for (int i = 0; i < sched.num_tasks(); ++i) {
+      bests.push_back(sched.task(i).best_time_ms());
+    }
+    return std::make_tuple(sched.round_log(), bests, measurer.trials_used());
+  };
+
+  ThreadPool serial(1), wide(4);
+  auto [log_s, bests_s, trials_s] = run_one(&serial);
+  auto [log_w, bests_w, trials_w] = run_one(&wide);
+
+  EXPECT_EQ(trials_s, trials_w);
+  EXPECT_EQ(bests_s, bests_w);
+  ASSERT_EQ(log_s.size(), log_w.size());
+  for (std::size_t i = 0; i < log_s.size(); ++i) {
+    EXPECT_EQ(log_s[i].task, log_w[i].task) << i;
+    EXPECT_EQ(log_s[i].trials_after, log_w[i].trials_after) << i;
+    EXPECT_EQ(log_s[i].net_latency_ms, log_w[i].net_latency_ms) << i;
+  }
+}
+
 TEST(PolicyKindNames, AllDistinct) {
   EXPECT_STREQ(policy_kind_name(PolicyKind::kHarl), "HARL");
   EXPECT_STREQ(policy_kind_name(PolicyKind::kHarlFixedLength), "Hierarchical-RL");
