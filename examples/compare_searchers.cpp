@@ -1,26 +1,71 @@
-/// Compare all five search strategies on one operator (a 14x14x256x256
-/// 3x3 convolution — the C2D workload class of Table 6) under the same trial
+/// Compare search strategies on one operator (a 14x14x256x256 3x3
+/// convolution — the C2D workload class of Table 6) under the same trial
 /// budget, printing a convergence table: Table 1 of the paper, in numbers.
 ///
-///   ./build/examples/example_compare_searchers [trials]   (default 300)
+///   ./build/compare_searchers [trials] [--trials=N]
+///       [--policy=NAME[,NAME...]]   subset of searchers, by registry name
+///                                   (default: all six built-ins)
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/harl.hpp"
 
 int main(int argc, char** argv) {
   using namespace harl;
-  std::int64_t trials = argc > 1 ? std::atoll(argv[1]) : 300;
+  std::int64_t trials = 300;
+  std::vector<PolicyKind> kinds = {PolicyKind::kRandom, PolicyKind::kAutoTvmSa,
+                                   PolicyKind::kFlextensor, PolicyKind::kAnsor,
+                                   PolicyKind::kHarlFixedLength, PolicyKind::kHarl};
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--policy=", 9) == 0) {
+      // Comma-separated policy names, resolved through the name <-> kind
+      // round trip (policy_kind_from_name is the inverse of
+      // policy_kind_name, case-insensitive).
+      kinds.clear();
+      std::string list = arg + 9;
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        std::string name = list.substr(
+            start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!name.empty()) {
+          if (auto kind = policy_kind_from_name(name)) {
+            kinds.push_back(*kind);
+          } else {
+            std::fprintf(stderr, "unknown policy \"%s\"; built-in names:\n",
+                         name.c_str());
+            for (const std::string& n : PolicyRegistry::instance().names()) {
+              std::fprintf(stderr, "  %s\n", n.c_str());
+            }
+            return 1;
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (kinds.empty()) {
+        std::fprintf(stderr, "--policy= needs at least one name\n");
+        return 1;
+      }
+    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+      trials = std::atoll(arg + 9);
+    } else if (arg[0] != '-') {
+      trials = std::atoll(arg);  // legacy positional [trials]
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      return 1;
+    }
+  }
 
   Subgraph conv = make_conv2d(1, 14, 14, 256, 256, 3, 1, 1);
   HardwareConfig cpu = HardwareConfig::xeon_6226r();
   std::printf("C2D(14,14,256,256,k3,s1,p1), %lld trials per searcher\n\n",
               static_cast<long long>(trials));
-
-  std::vector<PolicyKind> kinds = {PolicyKind::kRandom, PolicyKind::kAutoTvmSa,
-                                   PolicyKind::kFlextensor, PolicyKind::kAnsor,
-                                   PolicyKind::kHarlFixedLength, PolicyKind::kHarl};
 
   Table table("search strategy comparison");
   std::vector<std::string> header = {"policy"};

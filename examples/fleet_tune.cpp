@@ -4,10 +4,18 @@
 ///
 /// Build & run:
 ///   cmake -B build -G Ninja && cmake --build build
-///   ./build/fleet_tune [trials-per-network]
+///   ./build/fleet_tune [trials-per-network] [--log-dir=DIR]
+///
+/// With --log-dir, every network appends its measured records to
+/// DIR/<network>.jsonl and warm-starts from that file on the next run: kill
+/// this process at any point, re-run the same command, and each network
+/// resumes from its last completed round (the "replayed" column counts the
+/// trials served from the logs instead of the simulator).
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/harl.hpp"
 
@@ -16,7 +24,18 @@ int main(int argc, char** argv) {
 
   // Warmup tunes every task once (ResNet-50 has 24 tasks x 10 measures), so
   // budgets below ~250 leave the weighted latency estimate at +inf.
-  std::int64_t trials = argc > 1 ? std::atoll(argv[1]) : 400;
+  std::int64_t trials = 400;
+  std::string log_dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--log-dir=", 10) == 0) {
+      log_dir = argv[i] + 10;
+    } else if (argv[i][0] != '-') {
+      trials = std::atoll(argv[i]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   // One pool serves every session's measurement batches and candidate
   // scoring; sessions themselves run on fleet threads.
@@ -24,6 +43,7 @@ int main(int argc, char** argv) {
 
   FleetTuner::Options fleet_opts;
   fleet_opts.measure_pool = &measure_pool;
+  fleet_opts.log_dir = log_dir;
   FleetTuner fleet(fleet_opts);
 
   HardwareConfig cpu = HardwareConfig::xeon_6226r();
@@ -36,9 +56,11 @@ int main(int argc, char** argv) {
     fleet.add(std::move(w));
   }
 
-  std::printf("tuning %d networks x %lld trials on a %zu-thread pool...\n\n",
+  std::printf("tuning %d networks x %lld trials on a %zu-thread pool%s%s...\n\n",
               fleet.num_workloads(), static_cast<long long>(trials),
-              measure_pool.size());
+              measure_pool.size(),
+              log_dir.empty() ? "" : ", logs in ",
+              log_dir.c_str());
   FleetReport report = fleet.run();
   std::printf("%s\n", report.to_string().c_str());
 

@@ -1,29 +1,193 @@
-/// End-to-end network tuning: optimize BERT on the CPU model with HARL and
-/// with the Ansor baseline, then print a Table-4-style per-subgraph
-/// comparison (execution-time contribution and speedup).
+/// End-to-end network tuning with durable record logs.
 ///
-///   ./build/examples/example_tune_network [trials]   (default 600)
+/// Default mode reproduces the Table-4-style HARL-vs-Ansor comparison on
+/// BERT.  With `--policy=` it tunes one named policy (any name registered in
+/// the PolicyRegistry), and with `--log=` the run becomes durable: every
+/// measured record is appended to a JSONL log, and re-running the same
+/// command resumes from the log bit-identically instead of starting over.
+///
+///   ./build/tune_network [trials]
+///       [--trials=N] [--network=bert|resnet50|mobilenet_v2] [--seed=N]
+///       [--policy=NAME]         tune one policy instead of the comparison
+///       [--log=PATH]            append records; resume when the log exists
+///       [--stop-after-rounds=N] simulate a crash: _Exit(3) after N rounds
+///       [--dump-rounds=PATH]    bit-exact round log (hexfloat) for diffing
+///
+/// Crash-resume walkthrough (the CI determinism gate):
+///   ./build/tune_network --policy=HARL --log=run.jsonl --stop-after-rounds=6
+///   ./build/tune_network --policy=HARL --log=run.jsonl   # resumes, finishes
+/// The resumed round log is byte-identical to an uninterrupted run's.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
 
 #include "core/harl.hpp"
 
+namespace {
+
+using namespace harl;
+
+/// Matches "--name=value" and returns the value part.
+bool flag_value(const char* arg, const char* name, const char** value) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+/// Simulated crash for the resume gate: exit without unwinding as soon as N
+/// rounds completed.  Registered after the RecordLogger, so the final
+/// round's records are already flushed when this fires.
+struct CrashAfterRounds : TuningCallback {
+  explicit CrashAfterRounds(int rounds) : remaining(rounds) {}
+  int remaining;
+  void on_round(const TaskScheduler&, const RoundEvent&) override {
+    if (--remaining <= 0) std::_Exit(3);
+  }
+};
+
+void dump_round_log(const TaskScheduler& sched, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  for (const TaskScheduler::RoundLog& r : sched.round_log()) {
+    // %a prints the exact bits of the latency, so diffing two dumps is a
+    // bit-identity check, not an approximate one.
+    std::fprintf(f, "%d %lld %a\n", r.task, static_cast<long long>(r.trials_after),
+                 r.net_latency_ms);
+  }
+  std::fclose(f);
+}
+
+void print_task_table(const TuningSession& session, const char* title) {
+  const Network& net = session.network();
+  Table table(title);
+  table.set_header({"subgraph", "weight", "best ms", "trials"});
+  auto alloc = session.scheduler().task_allocations();
+  for (int i = 0; i < session.scheduler().num_tasks(); ++i) {
+    std::size_t k = static_cast<std::size_t>(i);
+    table.add(net.subgraphs[k].name(), net.subgraphs[k].weight(),
+              Table::fmt(session.task_best_ms(i), 4), alloc[k]);
+  }
+  table.print();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace harl;
-  std::int64_t trials = argc > 1 ? std::atoll(argv[1]) : 600;
+  std::int64_t trials = 600;
+  std::uint64_t seed = 42;
+  std::string network_name = "bert";
+  std::string policy_name;
+  std::string log_path;
+  std::string dump_path;
+  int stop_after_rounds = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--trials", &v)) {
+      trials = std::atoll(v);
+    } else if (flag_value(argv[i], "--seed", &v)) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (flag_value(argv[i], "--network", &v)) {
+      network_name = v;
+    } else if (flag_value(argv[i], "--policy", &v)) {
+      policy_name = v;
+    } else if (flag_value(argv[i], "--log", &v)) {
+      log_path = v;
+    } else if (flag_value(argv[i], "--dump-rounds", &v)) {
+      dump_path = v;
+    } else if (flag_value(argv[i], "--stop-after-rounds", &v)) {
+      stop_after_rounds = std::atoi(v);
+    } else if (argv[i][0] != '-') {
+      trials = std::atoll(argv[i]);  // legacy positional [trials]
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
 
   HardwareConfig cpu = HardwareConfig::xeon_6226r();
-  std::printf("Tuning BERT (batch 1) with %lld trials per scheduler...\n\n",
-              static_cast<long long>(trials));
+  Network net;
+  try {
+    net = make_network(network_name, 1);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 
-  TuningSession ansor(make_bert(1), cpu, quick_options(PolicyKind::kAnsor, 42));
+  if (!policy_name.empty()) {
+    // ---- single-policy mode: durable, resumable ------------------------
+    if (!PolicyRegistry::instance().contains(policy_name)) {
+      std::fprintf(stderr, "unknown policy \"%s\"; registered policies:\n",
+                   policy_name.c_str());
+      for (const std::string& n : PolicyRegistry::instance().names()) {
+        std::fprintf(stderr, "  %s\n", n.c_str());
+      }
+      return 1;
+    }
+    SearchOptions opts = quick_options(PolicyKind::kHarl, seed);
+    opts.policy_name = policy_name;
+    if (auto kind = policy_kind_from_name(policy_name)) opts.policy = *kind;
+
+    TuningSession session(net, cpu, opts);
+    RecordLogger logger;
+    CrashAfterRounds crasher(stop_after_rounds);
+    if (!log_path.empty()) {
+      ResumeStats st = resume_session(session, log_path);
+      if (!logger.open(log_path, /*append=*/true)) {
+        std::fprintf(stderr, "cannot open log %s\n", log_path.c_str());
+        return 1;
+      }
+      logger.set_skip(st.records_matched);
+      session.add_callback(&logger);
+      if (st.records_matched > 0) {
+        std::printf("resuming from %s: %zu records, %lld trials to replay\n",
+                    log_path.c_str(), st.records_matched,
+                    static_cast<long long>(st.replay_trials));
+      }
+      for (const RecordReadError& e : st.errors) {
+        std::fprintf(stderr, "  skipped log line %zu: %s\n", e.line_number,
+                     e.message.c_str());
+      }
+    }
+    if (stop_after_rounds > 0) session.add_callback(&crasher);
+
+    std::printf("Tuning %s with policy %s, %lld trials (seed %llu)...\n\n",
+                net.name.c_str(), policy_name.c_str(),
+                static_cast<long long>(trials),
+                static_cast<unsigned long long>(seed));
+    session.run(trials);
+
+    print_task_table(session, "per-subgraph results");
+    std::printf("\nestimated end-to-end latency: %.4f ms\n", session.latency_ms());
+    std::printf("trials used: %lld (replayed from log: %lld)\n",
+                static_cast<long long>(session.measurer().trials_used()),
+                static_cast<long long>(session.measurer().replayed()));
+    if (!log_path.empty()) {
+      std::printf("record log: %s (+%zu records this run)\n", log_path.c_str(),
+                  logger.written());
+    }
+    if (!dump_path.empty()) dump_round_log(session.scheduler(), dump_path.c_str());
+    return 0;
+  }
+
+  // ---- comparison mode (legacy default): HARL vs Ansor on the network ----
+  std::printf("Tuning %s (batch 1) with %lld trials per scheduler...\n\n",
+              net.name.c_str(), static_cast<long long>(trials));
+
+  TuningSession ansor(net, cpu, quick_options(PolicyKind::kAnsor, seed));
   ansor.run(trials);
-  TuningSession harl(make_bert(1), cpu, quick_options(PolicyKind::kHarl, 42));
+  TuningSession harl(net, cpu, quick_options(PolicyKind::kHarl, seed));
   harl.run(trials);
 
-  const Network& net = harl.network();
-  Table table("BERT per-subgraph results");
+  Table table(net.name + " per-subgraph results");
   table.set_header({"subgraph", "weight", "HARL ms", "Ansor ms", "speedup",
                     "HARL trials"});
   auto alloc = harl.scheduler().task_allocations();
@@ -42,5 +206,6 @@ int main(int argc, char** argv) {
               ansor.latency_ms() / harl.latency_ms());
 
   std::printf("\n%s", render_session_report(harl).c_str());
+  if (!dump_path.empty()) dump_round_log(harl.scheduler(), dump_path.c_str());
   return 0;
 }

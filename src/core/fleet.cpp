@@ -1,19 +1,58 @@
 #include "core/fleet.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <thread>
 
+#include "io/resume.hpp"
+#include "util/logging.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
 namespace harl {
 
+namespace {
+
+/// Workload names become file names; keep only portable characters.
+std::string sanitize_for_filename(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '-' || c == '.';
+    out += ok ? c : '_';
+  }
+  return out.empty() ? "workload" : out;
+}
+
+}  // namespace
+
 int FleetTuner::add(FleetWorkload workload) {
   if (workload.name.empty()) workload.name = workload.network.name;
   workloads_.push_back(std::move(workload));
   return static_cast<int>(workloads_.size()) - 1;
+}
+
+std::string FleetTuner::log_path(int i) const {
+  std::size_t idx = static_cast<std::size_t>(i);
+  std::string stem = sanitize_for_filename(workloads_.at(idx).name);
+  // Distinct workloads must never share a log file: interleaved appends from
+  // two fleet threads would tear lines and double-count resume skips.  Any
+  // earlier workload whose *sanitized* name collides (duplicate names, or
+  // "net/a" vs "net_a") forces this one onto an index-suffixed file; the
+  // suffix is the stable workload index, so resume finds the same file as
+  // long as workloads are added in the same order.
+  for (std::size_t j = 0; j < idx; ++j) {
+    if (sanitize_for_filename(workloads_[j].name) == stem) {
+      stem += "_" + std::to_string(idx);
+      break;
+    }
+  }
+  return opts_.log_dir + "/" + stem + ".jsonl";
 }
 
 FleetReport FleetTuner::run() {
@@ -22,7 +61,26 @@ FleetReport FleetTuner::run() {
   report.networks.resize(n);
   sessions_.clear();
   sessions_.resize(n);
+  loggers_.clear();
+  loggers_.resize(n);
   if (n == 0) return report;
+
+  bool logging = !opts_.log_dir.empty();
+  if (logging) {
+    // Create the log directory, parents included (mkdir -p; EEXIST is fine).
+    std::size_t pos = 0;
+    while (pos != std::string::npos) {
+      pos = opts_.log_dir.find('/', pos + 1);
+      std::string prefix = opts_.log_dir.substr(0, pos);
+      if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+          errno != EEXIST) {
+        HARL_LOG_WARN("fleet: cannot create log dir %s; logging disabled",
+                      prefix.c_str());
+        logging = false;
+        break;
+      }
+    }
+  }
 
   std::size_t fleet_threads = opts_.max_concurrent > 0
                                   ? static_cast<std::size_t>(opts_.max_concurrent)
@@ -39,6 +97,21 @@ FleetReport FleetTuner::run() {
     // Session construction (sketch generation per subgraph) is part of the
     // serving cost, so it runs on the fleet thread and counts in wall time.
     sessions_[i] = std::make_unique<TuningSession>(w.network, w.hardware, opts);
+    if (logging) {
+      // Warm start: replay whatever a previous run already measured, then
+      // append the new records after the replayed ones.
+      std::string path = log_path(static_cast<int>(i));
+      ResumeStats stats = resume_session(*sessions_[i], path);
+      auto logger = std::make_unique<RecordLogger>();
+      if (logger->open(path, /*append=*/true)) {
+        logger->set_skip(stats.records_matched);
+        sessions_[i]->add_callback(logger.get());
+        loggers_[i] = std::move(logger);
+      } else {
+        HARL_LOG_WARN("fleet: cannot open record log %s", path.c_str());
+      }
+    }
+    for (TuningCallback* cb : w.callbacks) sessions_[i]->add_callback(cb);
     sessions_[i]->run(w.trials);
     auto t1 = std::chrono::steady_clock::now();
 
@@ -51,6 +124,8 @@ FleetReport FleetTuner::run() {
     r.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     r.cache_hits = s.measurer().cache().hits();
     r.rounds = s.scheduler().round_log().size();
+    r.replayed_trials = s.measurer().replayed();
+    r.records_logged = loggers_[i] != nullptr ? loggers_[i]->written() : 0;
   };
 
   if (fleet_threads <= 1) {
@@ -81,12 +156,16 @@ FleetReport FleetTuner::run() {
 
 std::string FleetReport::to_string() const {
   Table t("fleet tuning report");
-  t.set_header({"network", "tasks", "trials", "cache_hits", "latency_ms", "wall_s"});
+  t.set_header({"network", "tasks", "trials", "replayed", "cache_hits",
+                "latency_ms", "wall_s"});
+  std::int64_t total_replayed = 0;
   for (const FleetNetworkResult& r : networks) {
-    t.add(r.name, r.num_tasks, r.trials_used, r.cache_hits, r.latency_ms,
-          r.wall_seconds);
+    t.add(r.name, r.num_tasks, r.trials_used, r.replayed_trials, r.cache_hits,
+          r.latency_ms, r.wall_seconds);
+    total_replayed += r.replayed_trials;
   }
-  t.add("TOTAL", "", total_trials, total_cache_hits, "", wall_seconds);
+  t.add("TOTAL", "", total_trials, total_replayed, total_cache_hits, "",
+        wall_seconds);
   return t.to_string();
 }
 

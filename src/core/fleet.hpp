@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/tuning.hpp"
+#include "io/record_logger.hpp"
 
 namespace harl {
 
@@ -16,6 +17,10 @@ struct FleetWorkload {
   HardwareConfig hardware;
   SearchOptions options;     ///< options.pool == nullptr inherits the fleet pool
   std::int64_t trials = 1000;  ///< measurement-trial budget for this network
+  /// Extra observers registered on this workload's session (not owned).  A
+  /// callback shared across workloads runs on several fleet threads at once
+  /// and must be thread-safe.
+  std::vector<TuningCallback*> callbacks;
 };
 
 /// Per-network outcome of a fleet run.
@@ -27,6 +32,8 @@ struct FleetNetworkResult {
   double wall_seconds = 0;      ///< wall-clock time of this session's tuning
   std::int64_t cache_hits = 0;  ///< measure-cache hits (deduplicated trials)
   std::size_t rounds = 0;       ///< completed scheduler rounds
+  std::int64_t replayed_trials = 0;  ///< trials served from a warm-start log
+  std::size_t records_logged = 0;    ///< records appended to the shared log dir
 };
 
 /// Aggregated outcome of `FleetTuner::run`.
@@ -62,6 +69,13 @@ class FleetTuner {
     /// Pool for measurement/scoring inside every session; nullptr = the
     /// process-wide global pool.  Not owned.
     ThreadPool* measure_pool = nullptr;
+    /// Shared record-log directory.  When non-empty, every workload logs its
+    /// records to `<log_dir>/<name>.jsonl` (created on demand) and — if that
+    /// file already holds records of the same run identity — warm-starts
+    /// from it via `resume_session`, replaying logged trials instead of
+    /// re-simulating them.  A fleet killed mid-run therefore resumes every
+    /// network from its last completed round on the next `run()`.
+    std::string log_dir;
   };
 
   FleetTuner() = default;
@@ -81,10 +95,14 @@ class FleetTuner {
   const TuningSession& session(int i) const { return *sessions_.at(static_cast<std::size_t>(i)); }
   TuningSession& session(int i) { return *sessions_.at(static_cast<std::size_t>(i)); }
 
+  /// The record-log path workload `i` uses under `Options::log_dir`.
+  std::string log_path(int i) const;
+
  private:
   Options opts_;
   std::vector<FleetWorkload> workloads_;
   std::vector<std::unique_ptr<TuningSession>> sessions_;
+  std::vector<std::unique_ptr<RecordLogger>> loggers_;  ///< one per workload when logging
 };
 
 }  // namespace harl

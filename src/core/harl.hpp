@@ -14,8 +14,11 @@
 ///   nn / rl    - MLP + PPO actor-critic
 ///   bandit     - SW-UCB (Eq. 1)
 ///   search     - HARL (Algorithm 1), adaptive stopping (Section 5),
-///                Ansor/Flextensor/AutoTVM/random baselines, task scheduler
-///   core       - TuningSession entry point, option presets
+///                Ansor/Flextensor/AutoTVM/random baselines, task scheduler,
+///                open policy registry
+///   io         - JSONL tuning records, record log writer/reader, callback
+///                bus, record logger, checkpoint/resume
+///   core       - TuningSession entry point, option presets, fleet tuner
 
 #include "bandit/sw_ucb.hpp"
 #include "core/fleet.hpp"
@@ -28,9 +31,16 @@
 #include "hwsim/measure_cache.hpp"
 #include "hwsim/measurer.hpp"
 #include "hwsim/simulator.hpp"
+#include "io/callbacks.hpp"
+#include "io/json.hpp"
+#include "io/record.hpp"
+#include "io/record_io.hpp"
+#include "io/record_logger.hpp"
+#include "io/resume.hpp"
 #include "ir/subgraph.hpp"
 #include "ir/tensor_op.hpp"
 #include "rl/ppo.hpp"
+#include "search/policy_registry.hpp"
 #include "sched/actions.hpp"
 #include "sched/schedule.hpp"
 #include "sched/sketch.hpp"

@@ -38,10 +38,11 @@ void TuningSession::run(std::int64_t trials) {
 }
 
 std::int64_t trials_to_reach(const std::vector<CurvePoint>& curve, double target_ms) {
+  if (target_ms == std::numeric_limits<double>::infinity()) return 0;
   for (const CurvePoint& p : curve) {
     if (p.best_ms <= target_ms) return p.trials;
   }
-  return -1;
+  return -1;  // empty curve, NaN target, or target never reached
 }
 
 double best_at(const std::vector<CurvePoint>& curve, std::int64_t trials) {

@@ -34,6 +34,12 @@ class TuningSession {
   /// Spend `trials` measurement trials (cumulative across calls).
   void run(std::int64_t trials);
 
+  /// Subscribes `cb` (not owned) to this session's tuning events — rounds,
+  /// new bests, committed records, task completion.  `RecordLogger` makes a
+  /// run durable this way; `resume_session` (io/resume.hpp) restores one.
+  void add_callback(TuningCallback* cb) { scheduler_->add_callback(cb); }
+  void remove_callback(TuningCallback* cb) { scheduler_->remove_callback(cb); }
+
   TaskScheduler& scheduler() { return *scheduler_; }
   const TaskScheduler& scheduler() const { return *scheduler_; }
   Measurer& measurer() { return measurer_; }
@@ -61,12 +67,22 @@ class TuningSession {
   double wall_seconds_ = 0;
 };
 
-/// First trial count at which `curve` reached a time <= target_ms; -1 when
-/// never reached.  Implements the paper's search-time metric ("time consumed
-/// to find a program no worse than the baseline's final output").
+/// First trial count at which `curve` reached a time <= target_ms.
+/// Implements the paper's search-time metric ("time consumed to find a
+/// program no worse than the baseline's final output").
+///
+/// Sentinels (pinned by tests):
+///   - `target_ms == +inf` returns 0: every program is no worse than an
+///     unreachable baseline, so zero trials suffice (even on an empty curve).
+///   - an empty curve, or one that never reaches a finite target, returns -1.
+///   - a NaN target is never reached: -1.
 std::int64_t trials_to_reach(const std::vector<CurvePoint>& curve, double target_ms);
 
-/// Best time in `curve` after at most `trials` measurements (+inf if none).
+/// Best time in `curve` after at most `trials` measurements.
+///
+/// Sentinels (pinned by tests): +inf for an empty curve, for `trials < 0`,
+/// and for any `trials` smaller than the first curve point's trial count (no
+/// measurement has landed yet).
 double best_at(const std::vector<CurvePoint>& curve, std::int64_t trials);
 
 }  // namespace harl

@@ -64,6 +64,11 @@ struct HardwareConfig {
   /// Empty string when consistent; else a diagnostic.
   std::string validate() const;
 
+  /// Stable 64-bit hash of every field that affects simulated timings (name
+  /// included).  Stamped into tuning records so a log replayed on a different
+  /// machine model is detected instead of silently trusted.
+  std::uint64_t fingerprint() const;
+
   /// CPU preset modeled after the paper's Intel Xeon 6226R (32 cores,
   /// 2.9 GHz, AVX-512).
   static HardwareConfig xeon_6226r();

@@ -1,5 +1,7 @@
 #include "hwsim/measurer.hpp"
 
+#include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "util/rng.hpp"
@@ -11,6 +13,18 @@ Measurer::Measurer(const CostSimulator* sim, std::uint64_t seed)
     : sim_(sim), seed_(seed) {}
 
 ThreadPool& Measurer::pool() const { return pool_ ? *pool_ : global_pool(); }
+
+void Measurer::preload_replay(std::vector<double> times_by_trial) {
+  replay_ = std::move(times_by_trial);
+}
+
+double Measurer::replay_time(std::int64_t trial_index) const {
+  if (trial_index < 0 ||
+      static_cast<std::size_t>(trial_index) >= replay_.size()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return replay_[static_cast<std::size_t>(trial_index)];
+}
 
 double Measurer::noisy(double ms, std::int64_t trial_index) const {
   double sigma = sim_->hardware().noise_sigma;
@@ -29,7 +43,15 @@ MeasureResult Measurer::measure_one(const Schedule& sched) {
     }
   }
   std::int64_t idx = trials_.fetch_add(1);
-  MeasureResult out{noisy(sim_->simulate_ms(sched), idx), idx, false};
+  double replay = replay_time(idx);
+  double ms;
+  if (std::isnan(replay)) {
+    ms = noisy(sim_->simulate_ms(sched), idx);
+  } else {
+    ms = replay;
+    replayed_.fetch_add(1);
+  }
+  MeasureResult out{ms, idx, false};
   if (cache_.enabled()) cache_.insert(fp, out.time_ms);
   return out;
 }
@@ -83,7 +105,13 @@ std::vector<MeasureResult> Measurer::measure_batch_results(
   pool().parallel_for(miss.size(), [&](std::size_t k) {
     std::size_t i = miss[k];
     std::int64_t idx = base + out[i].trial_index;
-    out[i].time_ms = noisy(sim_->simulate_ms(scheds[i]), idx);
+    double replay = replay_time(idx);
+    if (std::isnan(replay)) {
+      out[i].time_ms = noisy(sim_->simulate_ms(scheds[i]), idx);
+    } else {
+      out[i].time_ms = replay;
+      replayed_.fetch_add(1);
+    }
     out[i].trial_index = idx;
   });
 

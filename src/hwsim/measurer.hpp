@@ -76,14 +76,29 @@ class Measurer {
   std::int64_t trials_used() const { return trials_.load(); }
   void reset_trials() { trials_.store(0); }
 
+  /// Checkpoint-resume support: measured times from a previous run of the
+  /// same deterministic session, indexed by trial index (NaN = not logged).
+  /// A trial whose index has a replay entry returns the stored time without
+  /// invoking the simulator; its trial accounting is unchanged, so a resumed
+  /// run re-executes the search bit-identically while skipping the simulator
+  /// for every already-measured trial.  Entries never expire — replaying the
+  /// same log twice is idempotent.
+  void preload_replay(std::vector<double> times_by_trial);
+  /// Simulator invocations avoided via the replay table so far.
+  std::int64_t replayed() const { return replayed_.load(); }
+
  private:
   double noisy(double ms, std::int64_t trial_index) const;
+  /// Replay-table lookup for `trial_index`; NaN when absent.
+  double replay_time(std::int64_t trial_index) const;
 
   const CostSimulator* sim_;
   std::uint64_t seed_;
   std::atomic<std::int64_t> trials_{0};
+  std::atomic<std::int64_t> replayed_{0};
   ThreadPool* pool_ = nullptr;
   MeasureCache cache_;
+  std::vector<double> replay_;  ///< read-only during measurement (workers share)
 };
 
 }  // namespace harl

@@ -1,0 +1,40 @@
+#include "io/callbacks.hpp"
+
+#include <algorithm>
+
+namespace harl {
+
+void CallbackBus::add(TuningCallback* cb) {
+  if (cb == nullptr) return;
+  if (std::find(callbacks_.begin(), callbacks_.end(), cb) != callbacks_.end()) {
+    return;
+  }
+  callbacks_.push_back(cb);
+}
+
+void CallbackBus::remove(TuningCallback* cb) {
+  callbacks_.erase(std::remove(callbacks_.begin(), callbacks_.end(), cb),
+                   callbacks_.end());
+}
+
+void CallbackBus::emit_records(const TaskScheduler& scheduler, int task,
+                               const std::vector<MeasuredRecord>& records) const {
+  for (TuningCallback* cb : callbacks_) cb->on_records(scheduler, task, records);
+}
+
+void CallbackBus::emit_new_best(const TaskScheduler& scheduler, int task,
+                                const MeasuredRecord& best) const {
+  for (TuningCallback* cb : callbacks_) cb->on_new_best(scheduler, task, best);
+}
+
+void CallbackBus::emit_round(const TaskScheduler& scheduler,
+                             const RoundEvent& round) const {
+  for (TuningCallback* cb : callbacks_) cb->on_round(scheduler, round);
+}
+
+void CallbackBus::emit_task_complete(const TaskScheduler& scheduler,
+                                     int task) const {
+  for (TuningCallback* cb : callbacks_) cb->on_task_complete(scheduler, task);
+}
+
+}  // namespace harl

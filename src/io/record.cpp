@@ -1,0 +1,243 @@
+#include "io/record.hpp"
+
+#include "io/json.hpp"
+
+namespace harl {
+
+bool TuningRecord::operator==(const TuningRecord& o) const {
+  return version == o.version && network == o.network && task == o.task &&
+         task_index == o.task_index && hardware_fp == o.hardware_fp &&
+         policy == o.policy && seed == o.seed && sketch_id == o.sketch_id &&
+         sketch_tag == o.sketch_tag && stages == o.stages &&
+         time_ms == o.time_ms && trial_index == o.trial_index &&
+         cached == o.cached;
+}
+
+std::vector<StageDecision> decisions_from_schedule(const Schedule& sched) {
+  std::vector<StageDecision> out;
+  out.reserve(sched.stages.size());
+  for (const StageSchedule& ss : sched.stages) {
+    StageDecision d;
+    d.tiles.reserve(ss.tiles.size());
+    for (const TileVector& t : ss.tiles) d.tiles.push_back(t.factors);
+    d.compute_at = ss.compute_at;
+    d.parallel_depth = ss.parallel_depth;
+    d.unroll_index = ss.unroll_index;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::string record_to_json(const TuningRecord& rec) {
+  using json::Value;
+  Value obj = Value::object();
+  obj.set("v", Value::number(static_cast<std::int64_t>(rec.version)));
+  obj.set("net", Value::string(rec.network));
+  obj.set("task", Value::string(rec.task));
+  obj.set("task_index", Value::number(static_cast<std::int64_t>(rec.task_index)));
+  obj.set("hw", Value::number(rec.hardware_fp));
+  obj.set("policy", Value::string(rec.policy));
+  obj.set("seed", Value::number(rec.seed));
+  obj.set("sketch", Value::number(static_cast<std::int64_t>(rec.sketch_id)));
+  obj.set("tag", Value::string(rec.sketch_tag));
+  Value stages = Value::array();
+  for (const StageDecision& d : rec.stages) {
+    Value s = Value::object();
+    Value tiles = Value::array();
+    for (const auto& tv : d.tiles) {
+      Value axis = Value::array();
+      for (std::int64_t f : tv) axis.push_back(Value::number(f));
+      tiles.push_back(std::move(axis));
+    }
+    s.set("t", std::move(tiles));
+    s.set("ca", Value::number(static_cast<std::int64_t>(d.compute_at)));
+    s.set("par", Value::number(static_cast<std::int64_t>(d.parallel_depth)));
+    s.set("unr", Value::number(static_cast<std::int64_t>(d.unroll_index)));
+    stages.push_back(std::move(s));
+  }
+  obj.set("stages", std::move(stages));
+  obj.set("ms", Value::number(rec.time_ms));
+  obj.set("trial", Value::number(rec.trial_index));
+  obj.set("cached", Value::boolean(rec.cached));
+  return obj.dump();
+}
+
+namespace {
+
+bool require(const json::Value& obj, const char* key, const json::Value** out,
+             std::string* error) {
+  const json::Value* v = obj.find(key);
+  if (v == nullptr) {
+    *error = std::string("missing required field \"") + key + "\"";
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool get_string(const json::Value& obj, const char* key, std::string* out,
+                std::string* error) {
+  const json::Value* v = nullptr;
+  if (!require(obj, key, &v, error)) return false;
+  if (!v->is_string()) {
+    *error = std::string("field \"") + key + "\" is not a string";
+    return false;
+  }
+  *out = v->as_string();
+  return true;
+}
+
+bool get_number(const json::Value& obj, const char* key, const json::Value** out,
+                std::string* error) {
+  if (!require(obj, key, out, error)) return false;
+  if (!(*out)->is_number()) {
+    *error = std::string("field \"") + key + "\" is not a number";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool record_from_json(const std::string& line, TuningRecord* rec,
+                      std::string* error) {
+  json::ParseError perr;
+  json::Value obj = json::parse(line, &perr);
+  if (!perr.ok) {
+    *error = perr.to_string();
+    return false;
+  }
+  if (!obj.is_object()) {
+    *error = "record line is not a JSON object";
+    return false;
+  }
+
+  const json::Value* v = nullptr;
+  if (!get_number(obj, "v", &v, error)) return false;
+  TuningRecord out;
+  out.version = static_cast<int>(v->as_int64());
+  if (out.version > kRecordSchemaVersion) {
+    *error = "incompatible version " + std::to_string(out.version) +
+             " (reader supports <= " + std::to_string(kRecordSchemaVersion) + ")";
+    return false;
+  }
+
+  if (!get_string(obj, "net", &out.network, error)) return false;
+  if (!get_string(obj, "task", &out.task, error)) return false;
+  if (!get_string(obj, "policy", &out.policy, error)) return false;
+  if (!get_string(obj, "tag", &out.sketch_tag, error)) return false;
+  if (!get_number(obj, "task_index", &v, error)) return false;
+  out.task_index = static_cast<int>(v->as_int64(-1));
+  if (!get_number(obj, "hw", &v, error)) return false;
+  out.hardware_fp = v->as_uint64();
+  if (!get_number(obj, "seed", &v, error)) return false;
+  out.seed = v->as_uint64();
+  if (!get_number(obj, "sketch", &v, error)) return false;
+  out.sketch_id = static_cast<int>(v->as_int64());
+  if (!get_number(obj, "ms", &v, error)) return false;
+  out.time_ms = v->as_double();
+  if (!get_number(obj, "trial", &v, error)) return false;
+  out.trial_index = v->as_int64();
+
+  if (!require(obj, "cached", &v, error)) return false;
+  if (!v->is_bool()) {
+    *error = "field \"cached\" is not a boolean";
+    return false;
+  }
+  out.cached = v->as_bool();
+
+  if (!require(obj, "stages", &v, error)) return false;
+  if (!v->is_array()) {
+    *error = "field \"stages\" is not an array";
+    return false;
+  }
+  out.stages.reserve(v->items().size());
+  for (std::size_t s = 0; s < v->items().size(); ++s) {
+    const json::Value& sv = v->items()[s];
+    if (!sv.is_object()) {
+      *error = "stage " + std::to_string(s) + " is not an object";
+      return false;
+    }
+    StageDecision d;
+    const json::Value* f = nullptr;
+    if (!require(sv, "t", &f, error)) return false;
+    if (!f->is_array()) {
+      *error = "stage " + std::to_string(s) + " tiles are not an array";
+      return false;
+    }
+    d.tiles.reserve(f->items().size());
+    for (const json::Value& axis : f->items()) {
+      if (!axis.is_array()) {
+        *error = "stage " + std::to_string(s) + " tile vector is not an array";
+        return false;
+      }
+      std::vector<std::int64_t> factors;
+      factors.reserve(axis.items().size());
+      for (const json::Value& fv : axis.items()) {
+        if (!fv.is_number()) {
+          *error = "stage " + std::to_string(s) + " tile factor is not a number";
+          return false;
+        }
+        factors.push_back(fv.as_int64());
+      }
+      d.tiles.push_back(std::move(factors));
+    }
+    if (!get_number(sv, "ca", &f, error)) return false;
+    d.compute_at = static_cast<int>(f->as_int64());
+    if (!get_number(sv, "par", &f, error)) return false;
+    d.parallel_depth = static_cast<int>(f->as_int64());
+    if (!get_number(sv, "unr", &f, error)) return false;
+    d.unroll_index = static_cast<int>(f->as_int64());
+    out.stages.push_back(std::move(d));
+  }
+
+  *rec = std::move(out);
+  return true;
+}
+
+Schedule schedule_from_record(const TuningRecord& rec,
+                              const std::vector<Sketch>& sketches,
+                              int num_unroll_options, std::string* error) {
+  Schedule none;
+  const Sketch* sketch = nullptr;
+  for (const Sketch& sk : sketches) {
+    if (sk.sketch_id == rec.sketch_id) {
+      sketch = &sk;
+      break;
+    }
+  }
+  if (sketch == nullptr) {
+    *error = "unknown sketch id " + std::to_string(rec.sketch_id) + " for task " +
+             rec.task;
+    return none;
+  }
+  if (!rec.sketch_tag.empty() && sketch->tag != rec.sketch_tag) {
+    *error = "sketch tag mismatch: record \"" + rec.sketch_tag +
+             "\" vs generated \"" + sketch->tag + "\"";
+    return none;
+  }
+  Schedule sched;
+  sched.sketch = sketch;
+  sched.stages.resize(rec.stages.size());
+  for (std::size_t s = 0; s < rec.stages.size(); ++s) {
+    const StageDecision& d = rec.stages[s];
+    StageSchedule& ss = sched.stages[s];
+    ss.tiles.reserve(d.tiles.size());
+    for (const auto& factors : d.tiles) {
+      TileVector t;
+      t.factors = factors;
+      ss.tiles.push_back(std::move(t));
+    }
+    ss.compute_at = d.compute_at;
+    ss.parallel_depth = d.parallel_depth;
+    ss.unroll_index = d.unroll_index;
+  }
+  std::string invalid = validate_schedule(sched, num_unroll_options);
+  if (!invalid.empty()) {
+    *error = "reconstructed schedule invalid: " + invalid;
+    return none;
+  }
+  return sched;
+}
+
+}  // namespace harl

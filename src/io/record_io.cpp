@@ -1,0 +1,116 @@
+#include "io/record_io.hpp"
+
+namespace harl {
+
+// ---------------------------------------------------------------- writer
+
+RecordWriter::~RecordWriter() { close(); }
+
+bool RecordWriter::open(const std::string& path, bool append) {
+  close();
+  bool needs_newline = false;
+  if (append) {
+    // Detect a torn final line from a previous crash: if the file exists and
+    // does not end in '\n', start our first record on a fresh line.
+    if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+      if (std::fseek(probe, -1, SEEK_END) == 0) {
+        int last = std::fgetc(probe);
+        needs_newline = last != '\n' && last != EOF;
+      }
+      std::fclose(probe);
+    }
+  }
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) return false;
+  path_ = path;
+  written_ = 0;
+  if (needs_newline) std::fputc('\n', file_);
+  return true;
+}
+
+bool RecordWriter::write(const TuningRecord& rec) {
+  if (file_ == nullptr) return false;
+  std::string line = record_to_json(rec);
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) return false;
+  ++written_;
+  return true;
+}
+
+void RecordWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void RecordWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  path_.clear();
+}
+
+// ---------------------------------------------------------------- reader
+
+RecordReader::~RecordReader() { close(); }
+
+bool RecordReader::open(const std::string& path) {
+  close();
+  lines_read_ = 0;
+  records_read_ = 0;
+  errors_.clear();
+  file_ = std::fopen(path.c_str(), "rb");
+  return file_ != nullptr;
+}
+
+void RecordReader::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool RecordReader::next(TuningRecord* rec) {
+  if (file_ == nullptr) return false;
+  std::string line;
+  for (;;) {
+    line.clear();
+    int c;
+    while ((c = std::fgetc(file_)) != EOF && c != '\n') {
+      line += static_cast<char>(c);
+    }
+    if (line.empty() && c == EOF) return false;
+    ++lines_read_;
+    // Skip blank / whitespace-only lines silently.
+    bool blank = true;
+    for (char ch : line) {
+      if (ch != ' ' && ch != '\t' && ch != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) {
+      if (c == EOF) return false;
+      continue;
+    }
+    std::string error;
+    if (record_from_json(line, rec, &error)) {
+      ++records_read_;
+      return true;
+    }
+    errors_.push_back({lines_read_, error});
+    if (c == EOF) return false;
+  }
+}
+
+std::vector<TuningRecord> read_records(const std::string& path,
+                                       std::vector<RecordReadError>* errors) {
+  std::vector<TuningRecord> out;
+  RecordReader reader;
+  if (!reader.open(path)) return out;
+  TuningRecord rec;
+  while (reader.next(&rec)) out.push_back(rec);
+  if (errors != nullptr) *errors = reader.errors();
+  return out;
+}
+
+}  // namespace harl

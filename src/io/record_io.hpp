@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/record.hpp"
+
+namespace harl {
+
+/// Appends tuning records to a JSONL file, one line per record.
+///
+/// Durability model: `write` buffers, `flush` pushes the lines to the OS —
+/// callers flush at round boundaries so a crash loses at most the round in
+/// flight.  When opened in append mode onto a file whose last line was torn
+/// by a crash (no trailing newline), the writer first emits a newline so the
+/// torn fragment stays an isolated malformed line that the tolerant reader
+/// skips, instead of corrupting the next record.
+class RecordWriter {
+ public:
+  RecordWriter() = default;
+  ~RecordWriter();
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Opens `path` (append=false truncates).  Returns false on I/O failure.
+  bool open(const std::string& path, bool append = true);
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Serialize and append one record.  Returns false when closed or on error.
+  bool write(const TuningRecord& rec);
+  void flush();
+  void close();
+
+  std::size_t written() const { return written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::size_t written_ = 0;
+};
+
+/// One skipped input line with its position and reason (malformed JSON with
+/// line/column, missing field, incompatible version, ...).
+struct RecordReadError {
+  std::size_t line_number = 0;  ///< 1-based line within the file
+  std::string message;
+};
+
+/// Streams records out of a JSONL file, tolerantly: blank lines are ignored,
+/// malformed or incompatible lines are skipped and reported through
+/// `errors()` instead of aborting the read, and unknown JSON fields are
+/// ignored by the record parser.  A partially-written final line (crash mid
+/// append) therefore costs exactly one record.
+class RecordReader {
+ public:
+  RecordReader() = default;
+
+  /// Returns false when the file cannot be opened.
+  bool open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  ~RecordReader();
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  /// Advance to the next well-formed record.  Returns false at end of file.
+  bool next(TuningRecord* rec);
+  void close();
+
+  std::size_t lines_read() const { return lines_read_; }
+  std::size_t records_read() const { return records_read_; }
+  const std::vector<RecordReadError>& errors() const { return errors_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t lines_read_ = 0;
+  std::size_t records_read_ = 0;
+  std::vector<RecordReadError> errors_;
+};
+
+/// Convenience: read every well-formed record of `path` (empty when the file
+/// does not exist).  `errors` (optional) collects the skipped lines.
+std::vector<TuningRecord> read_records(const std::string& path,
+                                       std::vector<RecordReadError>* errors = nullptr);
+
+}  // namespace harl

@@ -1,0 +1,46 @@
+#include "io/record_logger.hpp"
+
+#include "search/task_scheduler.hpp"
+
+namespace harl {
+
+TuningRecord make_tuning_record(const TaskScheduler& scheduler, int task,
+                                const MeasuredRecord& rec) {
+  TuningRecord out;
+  out.version = kRecordSchemaVersion;
+  out.network = scheduler.network().name;
+  out.task = scheduler.task(task).graph().name();
+  out.task_index = task;
+  out.hardware_fp = scheduler.hardware().fingerprint();
+  out.policy = scheduler.options().effective_policy_name();
+  out.seed = scheduler.options().seed;
+  out.sketch_id = rec.sched.sketch->sketch_id;
+  out.sketch_tag = rec.sched.sketch->tag;
+  out.stages = decisions_from_schedule(rec.sched);
+  out.time_ms = rec.time_ms;
+  out.trial_index = rec.trial_index;
+  out.cached = rec.cached;
+  return out;
+}
+
+bool RecordLogger::open(const std::string& path, bool append) {
+  skip_ = 0;
+  return writer_.open(path, append);
+}
+
+void RecordLogger::on_records(const TaskScheduler& scheduler, int task,
+                              const std::vector<MeasuredRecord>& records) {
+  if (!writer_.is_open()) return;
+  bool wrote = false;
+  for (const MeasuredRecord& rec : records) {
+    if (skip_ > 0) {
+      --skip_;
+      continue;
+    }
+    writer_.write(make_tuning_record(scheduler, task, rec));
+    wrote = true;
+  }
+  if (wrote) writer_.flush();
+}
+
+}  // namespace harl

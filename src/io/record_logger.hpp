@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/callbacks.hpp"
+#include "io/record_io.hpp"
+
+namespace harl {
+
+/// Persists every measured record of a tuning run to a JSONL log — the
+/// shipped persistence feature, implemented as *just another* TuningCallback
+/// to prove the extension point carries real subsystems.
+///
+/// Flushes at every round boundary, so a crash loses at most the round in
+/// flight and the log stays replayable (see io/resume.hpp).
+///
+/// Resume protocol: a resumed session deterministically re-executes the
+/// logged prefix, which would re-emit the already-persisted records; the
+/// caller sets `set_skip(n)` to the number of records loaded from the log
+/// (`ResumeStats::records_matched`) so the file gains each record exactly
+/// once across any number of crash/resume cycles.
+class RecordLogger : public TuningCallback {
+ public:
+  RecordLogger() = default;
+
+  /// Opens `path` for appending (truncates when `append` is false).
+  /// Returns false on I/O failure.
+  bool open(const std::string& path, bool append = true);
+  bool is_open() const { return writer_.is_open(); }
+  const std::string& path() const { return writer_.path(); }
+  void close() { writer_.close(); }
+
+  /// Skip the next `n` records (they are already in the log).
+  void set_skip(std::size_t n) { skip_ = n; }
+
+  std::size_t written() const { return writer_.written(); }
+
+  void on_records(const TaskScheduler& scheduler, int task,
+                  const std::vector<MeasuredRecord>& records) override;
+
+ private:
+  RecordWriter writer_;
+  std::size_t skip_ = 0;
+};
+
+/// Build the durable form of one measurement: provenance from the scheduler
+/// (network, task, hardware fingerprint, resolved policy name, seed) plus the
+/// schedule's sketch id and decision list.
+TuningRecord make_tuning_record(const TaskScheduler& scheduler, int task,
+                                const MeasuredRecord& rec);
+
+}  // namespace harl

@@ -1,0 +1,99 @@
+#include "io/resume.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/tuning.hpp"
+#include "util/logging.hpp"
+
+namespace harl {
+
+ResumeStats resume_session(TuningSession& session,
+                           const std::vector<TuningRecord>& records) {
+  ResumeStats stats;
+  stats.records_loaded = records.size();
+
+  const TaskScheduler& sched = session.scheduler();
+  const std::string net = sched.network().name;
+  const std::string policy = sched.options().effective_policy_name();
+  const std::uint64_t seed = sched.options().seed;
+  const std::uint64_t hw_fp = sched.hardware().fingerprint();
+
+  std::vector<double> replay;
+  for (const TuningRecord& r : records) {
+    if (r.network != net || r.hardware_fp != hw_fp || r.policy != policy ||
+        r.seed != seed) {
+      ++stats.records_skipped;
+      continue;
+    }
+    ++stats.records_matched;
+    // Cache hits carry no simulator invocation of their own; the resumed run
+    // re-derives them from the re-populated measure cache.
+    if (r.cached || r.trial_index < 0) continue;
+    std::size_t idx = static_cast<std::size_t>(r.trial_index);
+    if (replay.size() <= idx) {
+      replay.resize(idx + 1, std::numeric_limits<double>::quiet_NaN());
+    }
+    if (std::isnan(replay[idx])) ++stats.replay_trials;
+    replay[idx] = r.time_ms;
+  }
+  if (!replay.empty()) {
+    session.measurer().preload_replay(std::move(replay));
+  }
+  return stats;
+}
+
+ResumeStats resume_session(TuningSession& session, const std::string& log_path) {
+  std::vector<RecordReadError> errors;
+  std::vector<TuningRecord> records = read_records(log_path, &errors);
+  ResumeStats stats = resume_session(session, records);
+  stats.lines_skipped = errors.size();
+  stats.errors = std::move(errors);
+  return stats;
+}
+
+int apply_history_best(TuningSession& session,
+                       const std::vector<TuningRecord>& records) {
+  TaskScheduler& sched = session.scheduler();
+  const std::uint64_t hw_fp = sched.hardware().fingerprint();
+  const int num_unroll = sched.hardware().num_unroll_options();
+
+  int applied = 0;
+  for (int i = 0; i < sched.num_tasks(); ++i) {
+    TaskState& task = sched.task(i);
+    const std::string& name = task.graph().name();
+    const TuningRecord* best = nullptr;
+    for (const TuningRecord& r : records) {
+      if (r.hardware_fp != hw_fp || r.task != name) continue;
+      if (best == nullptr || r.time_ms < best->time_ms) best = &r;
+    }
+    if (best == nullptr || !(best->time_ms < task.best_time_ms())) continue;
+
+    std::string error;
+    Schedule sched_best =
+        schedule_from_record(*best, task.sketches(), num_unroll, &error);
+    if (sched_best.sketch == nullptr) {
+      HARL_LOG_WARN("apply_history_best: dropping record for task %s: %s",
+                    name.c_str(), error.c_str());
+      continue;
+    }
+    // Commit as a cached measurement: updates best/curve/cost model without
+    // consuming a trial.  This counts as a task round, so the warmed task
+    // skips the scheduler's warmup pass — intended warm-start behavior.
+    MeasuredRecord rec;
+    rec.sched = std::move(sched_best);
+    rec.time_ms = best->time_ms;
+    rec.trial_index = best->trial_index;
+    rec.cached = true;
+    task.commit_measurements({rec});
+    ++applied;
+  }
+  return applied;
+}
+
+int apply_history_best(TuningSession& session, const std::string& log_path) {
+  return apply_history_best(session, read_records(log_path));
+}
+
+}  // namespace harl

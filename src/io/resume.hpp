@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "io/record.hpp"
+#include "io/record_io.hpp"
+
+namespace harl {
+
+class TuningSession;
+class TaskScheduler;
+
+/// Outcome of loading a record log into a session.
+struct ResumeStats {
+  std::size_t records_loaded = 0;   ///< well-formed records in the log
+  std::size_t records_matched = 0;  ///< records belonging to this run identity
+  std::size_t records_skipped = 0;  ///< other-run records ignored
+  std::size_t lines_skipped = 0;    ///< malformed / incompatible lines
+  std::int64_t replay_trials = 0;   ///< simulator trials the resume avoids
+  std::vector<RecordReadError> errors;
+};
+
+/// Checkpoint-resume: prime `session` with a record log written by an
+/// earlier, interrupted run of the *same* configuration.
+///
+/// Records are matched against the session's run identity — network name,
+/// hardware fingerprint, resolved policy name, and seed — and their measured
+/// times are preloaded into the measurer's replay table by trial index.
+/// Because a run is a pure function of its seed, the next `run()` re-executes
+/// the logged prefix decision-for-decision — rebuilding each task's best
+/// pool, curve, measured-fingerprint set, and cost model from the replayed
+/// rows — without invoking the simulator for any logged trial, then continues
+/// live exactly where the interrupted run stopped.  The resumed `round_log()`
+/// and final best schedules are bit-identical to an uninterrupted run.
+///
+/// Works from any prefix of a log, including one whose final line was torn
+/// by a crash (the missing trials are simply re-simulated, deterministically
+/// reproducing the lost measurements).
+///
+/// Call before the first `run()` of a fresh session.  A log that contains no
+/// matching records leaves the session untouched (stats show the mismatch).
+ResumeStats resume_session(TuningSession& session, const std::string& log_path);
+
+/// As above, from already-parsed records (no I/O).
+ResumeStats resume_session(TuningSession& session,
+                           const std::vector<TuningRecord>& records);
+
+/// Cross-run transfer: seed a *fresh* session with the best logged schedule
+/// of each task, Ansor's `apply_history_best`.  Unlike `resume_session` this
+/// does not replay the search: for every task whose (subgraph name, hardware
+/// fingerprint) matches a logged record — policy and seed may differ — the
+/// best such record is reconstructed and committed as a cached measurement,
+/// so `latency_ms()` is immediately finite and the search starts warm.
+/// Returns the number of tasks that received a best schedule.
+int apply_history_best(TuningSession& session,
+                       const std::vector<TuningRecord>& records);
+int apply_history_best(TuningSession& session, const std::string& log_path);
+
+}  // namespace harl

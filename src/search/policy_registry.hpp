@@ -1,0 +1,70 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "search/search_common.hpp"
+
+namespace harl {
+
+struct SearchOptions;
+
+/// String-keyed factory registry of per-subgraph search policies — the open
+/// replacement for the closed `PolicyKind` switch.  Built-in policies
+/// register themselves on first use; external code extends the tuner without
+/// touching library sources:
+///
+///   PolicyRegistry::instance().register_policy(
+///       "my-policy", [](TaskState* task, const SearchOptions& opts) {
+///         return std::make_unique<MyPolicy>(task, opts.seed);
+///       });
+///   SearchOptions opts = quick_options(PolicyKind::kHarl);
+///   opts.policy_name = "my-policy";   // overrides the enum
+///   TuningSession session(net, hw, opts);
+///
+/// Lookup is case-insensitive ("harl" == "HARL") so registry names
+/// round-trip through `--policy=` command-line flags.  All methods are
+/// thread-safe: `FleetTuner` instantiates policies from several fleet
+/// threads at once.
+class PolicyRegistry {
+ public:
+  /// Factory contract: build a policy for `task`.  `opts` carries the whole
+  /// per-task option set; the per-task seed is already derived (task index
+  /// folded in), so factories should seed from `opts.seed` alone.
+  using Factory = std::function<std::unique_ptr<SearchPolicy>(
+      TaskState* task, const SearchOptions& opts)>;
+
+  /// The process-wide registry, with built-ins registered.
+  static PolicyRegistry& instance();
+
+  /// Registers `factory` under `name`.  Returns false (and keeps the existing
+  /// entry) when the name — case-insensitively — is already taken.
+  bool register_policy(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiates the policy registered under `name` (case-insensitive).
+  /// Returns nullptr for unknown names.
+  std::unique_ptr<SearchPolicy> create(const std::string& name, TaskState* task,
+                                       const SearchOptions& opts) const;
+
+  /// Registered names in their canonical (registration) spelling, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  PolicyRegistry() = default;
+
+  struct Entry {
+    std::string canonical_name;
+    Factory factory;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;  ///< keyed lowercase
+};
+
+}  // namespace harl

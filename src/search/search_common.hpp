@@ -43,6 +43,7 @@ class TaskState {
   const HardwareConfig& hardware() const { return *hw_; }
   int num_sketches() const { return static_cast<int>(sketches_.size()); }
   const Sketch& sketch(int u) const { return sketches_.at(static_cast<std::size_t>(u)); }
+  const std::vector<Sketch>& sketches() const { return sketches_; }
   const ActionSpace& space(int u) const { return spaces_.at(static_cast<std::size_t>(u)); }
 
   XgbCostModel& cost_model() { return cost_model_; }

@@ -1,9 +1,12 @@
 #include "search/task_scheduler.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
+#include "search/policy_registry.hpp"
 #include "util/logging.hpp"
 
 namespace harl {
@@ -20,41 +23,49 @@ const char* policy_kind_name(PolicyKind kind) {
   return "?";
 }
 
+std::optional<PolicyKind> policy_kind_from_name(const std::string& name) {
+  auto eq_ci = [](const std::string& a, const char* b) {
+    std::size_t i = 0;
+    for (; i < a.size() && b[i] != '\0'; ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return i == a.size() && b[i] == '\0';
+  };
+  static constexpr PolicyKind kAll[] = {
+      PolicyKind::kHarl,       PolicyKind::kHarlFixedLength,
+      PolicyKind::kAnsor,      PolicyKind::kFlextensor,
+      PolicyKind::kAutoTvmSa,  PolicyKind::kRandom,
+  };
+  for (PolicyKind kind : kAll) {
+    if (eq_ci(name, policy_kind_name(kind))) return kind;
+  }
+  return std::nullopt;
+}
+
 std::unique_ptr<SearchPolicy> make_policy(PolicyKind kind, TaskState* task,
                                           const SearchOptions& opts) {
-  switch (kind) {
-    case PolicyKind::kHarl: {
-      HarlConfig cfg = opts.harl;
-      cfg.stop.enabled = true;
-      cfg.seed ^= opts.seed;
-      return std::make_unique<HarlSearchPolicy>(task, cfg);
+  return make_policy(std::string(policy_kind_name(kind)), task, opts);
+}
+
+std::unique_ptr<SearchPolicy> make_policy(const std::string& name, TaskState* task,
+                                          const SearchOptions& opts) {
+  std::unique_ptr<SearchPolicy> policy =
+      PolicyRegistry::instance().create(name, task, opts);
+  if (policy == nullptr) {
+    // A bad name is user input (a --policy= flag or SearchOptions field),
+    // not an internal invariant — report it recoverably, like make_network.
+    std::string known;
+    for (const std::string& n : PolicyRegistry::instance().names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
     }
-    case PolicyKind::kHarlFixedLength: {
-      HarlConfig cfg = opts.harl;
-      cfg.stop.enabled = false;
-      cfg.seed ^= opts.seed;
-      return std::make_unique<HarlSearchPolicy>(task, cfg);
-    }
-    case PolicyKind::kAnsor: {
-      AnsorConfig cfg = opts.ansor;
-      cfg.seed ^= opts.seed;
-      return std::make_unique<AnsorSearchPolicy>(task, cfg);
-    }
-    case PolicyKind::kFlextensor: {
-      FlextensorConfig cfg = opts.flextensor;
-      cfg.seed ^= opts.seed;
-      return std::make_unique<FlextensorSearchPolicy>(task, cfg);
-    }
-    case PolicyKind::kAutoTvmSa: {
-      AutoTvmConfig cfg = opts.autotvm;
-      cfg.seed ^= opts.seed;
-      return std::make_unique<AutoTvmSearchPolicy>(task, cfg);
-    }
-    case PolicyKind::kRandom:
-      return std::make_unique<RandomSearchPolicy>(task, opts.seed);
+    throw std::invalid_argument("unknown policy \"" + name +
+                                "\" (registered: " + known + ")");
   }
-  HARL_CHECK(false, "unknown policy kind");
-  return nullptr;
+  return policy;
 }
 
 TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
@@ -70,7 +81,8 @@ TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
     tasks_.back()->set_pool(opts_.pool);
     SearchOptions per_task = opts_;
     per_task.seed = opts_.seed + 1000003ULL * (n + 1);
-    policies_.push_back(make_policy(opts_.policy, tasks_.back().get(), per_task));
+    policies_.push_back(
+        make_policy(opts_.effective_policy_name(), tasks_.back().get(), per_task));
   }
 }
 
@@ -157,10 +169,27 @@ TaskScheduler::RoundResult TaskScheduler::run_round(Measurer& measurer) {
   RoundResult out;
   out.task = select_task();
   std::int64_t before = measurer.trials_used();
+  double best_before = tasks_[static_cast<std::size_t>(out.task)]->best_time_ms();
   std::vector<MeasuredRecord> records = policies_[static_cast<std::size_t>(out.task)]
                                             ->tune_round(measurer, opts_.measures_per_round);
   out.trials_consumed = measurer.trials_used() - before;
   out.records = records.size();
+
+  if (!callbacks_.empty()) {
+    callbacks_.emit_records(*this, out.task, records);
+    double best_after = tasks_[static_cast<std::size_t>(out.task)]->best_time_ms();
+    if (best_after < best_before) {
+      // The improving record is the round's fastest (commit keeps the first
+      // such record as the task best).
+      const MeasuredRecord* best_rec = nullptr;
+      for (const MeasuredRecord& r : records) {
+        if (best_rec == nullptr || r.time_ms < best_rec->time_ms) best_rec = &r;
+      }
+      if (best_rec != nullptr) {
+        callbacks_.emit_new_best(*this, out.task, *best_rec);
+      }
+    }
+  }
 
   if (opts_.effective_task_select() == TaskSelectKind::kSwUcbMab) {
     // MAB reward: the negated Eq. 3 gradient, normalized by the current
@@ -179,6 +208,16 @@ TaskScheduler::RoundResult TaskScheduler::run_round(Measurer& measurer) {
   out.net_latency_ms = estimated_latency_ms();
   round_log_.push_back(
       {out.task, measurer.trials_used() - run_start_trials_, out.net_latency_ms});
+  if (!callbacks_.empty()) {
+    RoundEvent event;
+    event.round_index = round_log_.size() - 1;
+    event.task = out.task;
+    event.trials_consumed = out.trials_consumed;
+    event.trials_after = round_log_.back().trials_after;
+    event.records = out.records;
+    event.net_latency_ms = out.net_latency_ms;
+    callbacks_.emit_round(*this, event);
+  }
   return out;
 }
 
@@ -200,6 +239,9 @@ void TaskScheduler::run(Measurer& measurer, std::int64_t total_trials) {
     } else {
       stalled = 0;
     }
+  }
+  for (int n = 0; n < num_tasks(); ++n) {
+    callbacks_.emit_task_complete(*this, n);
   }
 }
 

@@ -2,9 +2,11 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "bandit/sw_ucb.hpp"
+#include "io/callbacks.hpp"
 #include "ir/subgraph.hpp"
 #include "search/ansor_search.hpp"
 #include "search/autotvm_search.hpp"
@@ -16,7 +18,11 @@ namespace harl {
 
 class ThreadPool;
 
-/// Which per-subgraph search policy to instantiate.
+/// The built-in per-subgraph search policies.  This enum survives as a thin
+/// shim over the open `PolicyRegistry` (see policy_registry.hpp): each kind
+/// maps to a registered factory keyed by `policy_kind_name`, and custom
+/// policies plug in by name via `SearchOptions::policy_name` without
+/// extending the enum.
 enum class PolicyKind {
   kHarl,            ///< full HARL (hierarchical RL + adaptive stopping)
   kHarlFixedLength, ///< "Hierarchical-RL" ablation: no adaptive stopping
@@ -27,6 +33,11 @@ enum class PolicyKind {
 };
 
 const char* policy_kind_name(PolicyKind kind);
+
+/// Inverse of `policy_kind_name`, case-insensitive ("harl", "HARL", and
+/// "Harl" all resolve).  std::nullopt for names that are not built-in kinds
+/// (they may still be registered policies — check `PolicyRegistry`).
+std::optional<PolicyKind> policy_kind_from_name(const std::string& name);
 
 /// How the tuner distributes trials across subgraphs (Table 1 column 1).
 enum class TaskSelectKind {
@@ -41,6 +52,11 @@ enum class TaskSelectKind {
 /// the published values).
 struct SearchOptions {
   PolicyKind policy = PolicyKind::kHarl;
+  /// Registry name of the per-subgraph policy.  When non-empty it overrides
+  /// `policy` and is resolved through `PolicyRegistry::create`, so policies
+  /// registered outside the library run through the same TuningSession path
+  /// as the built-ins.
+  std::string policy_name;
   std::optional<TaskSelectKind> task_select;  ///< default derived from policy
 
   HarlConfig harl;
@@ -72,6 +88,13 @@ struct SearchOptions {
   /// trials).  0 disables caching.
   std::size_t measure_cache_capacity = 4096;
 
+  /// The registry key the run resolves its policy with — `policy_name` when
+  /// set, else the built-in name of `policy`.  Also the provenance string
+  /// stamped into tuning records.
+  std::string effective_policy_name() const {
+    return policy_name.empty() ? policy_kind_name(policy) : policy_name;
+  }
+
   TaskSelectKind effective_task_select() const {
     if (task_select.has_value()) return *task_select;
     switch (policy) {
@@ -83,8 +106,15 @@ struct SearchOptions {
   }
 };
 
-/// Instantiate the per-subgraph policy of `kind` for a task.
+/// Instantiate the per-subgraph policy of `kind` for a task.  Thin shim over
+/// `PolicyRegistry::create(policy_kind_name(kind), ...)`.
 std::unique_ptr<SearchPolicy> make_policy(PolicyKind kind, TaskState* task,
+                                          const SearchOptions& opts);
+
+/// Instantiate a policy by registry name (case-insensitive).  Throws
+/// std::invalid_argument listing the registered names when `name` is
+/// unknown (a bad name is user input, like make_network's).
+std::unique_ptr<SearchPolicy> make_policy(const std::string& name, TaskState* task,
                                           const SearchOptions& opts);
 
 /// End-to-end tuner: owns one TaskState + SearchPolicy per subgraph of a
@@ -126,7 +156,14 @@ class TaskScheduler {
   const TaskState& task(int i) const { return *tasks_.at(static_cast<std::size_t>(i)); }
   SearchPolicy& policy(int i) { return *policies_.at(static_cast<std::size_t>(i)); }
   const Network& network() const { return *net_; }
+  const HardwareConfig& hardware() const { return *hw_; }
   const SearchOptions& options() const { return opts_; }
+
+  /// Subscribes `cb` (not owned) to this scheduler's tuning events; see
+  /// `TuningCallback` for the event contract.
+  void add_callback(TuningCallback* cb) { callbacks_.add(cb); }
+  void remove_callback(TuningCallback* cb) { callbacks_.remove(cb); }
+  const CallbackBus& callbacks() const { return callbacks_; }
 
   /// Estimated network latency sum_n w_n g_n with current per-task bests;
   /// +inf until every task has at least one measurement.
@@ -159,6 +196,7 @@ class TaskScheduler {
   int round_robin_next_ = 0;
   std::vector<RoundLog> round_log_;
   std::int64_t run_start_trials_ = -1;  ///< trials_used() at the start of run()
+  CallbackBus callbacks_;
 };
 
 }  // namespace harl

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/tuning.hpp"
+
+namespace harl {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::vector<CurvePoint> sample_curve() {
+  // trials:   10    20    30    40
+  // best_ms: 5.0   3.0   3.0   1.5
+  return {{10, 5.0}, {20, 3.0}, {30, 3.0}, {40, 1.5}};
+}
+
+// ---- trials_to_reach sentinels (pinned; see core/tuning.hpp docs) --------
+
+TEST(TrialsToReach, NormalOperation) {
+  auto curve = sample_curve();
+  EXPECT_EQ(trials_to_reach(curve, 5.0), 10);
+  EXPECT_EQ(trials_to_reach(curve, 4.0), 20);
+  EXPECT_EQ(trials_to_reach(curve, 3.0), 20);  // first point at or below
+  EXPECT_EQ(trials_to_reach(curve, 1.5), 40);
+}
+
+TEST(TrialsToReach, NeverReachedIsMinusOne) {
+  EXPECT_EQ(trials_to_reach(sample_curve(), 1.0), -1);
+  EXPECT_EQ(trials_to_reach(sample_curve(), 0.0), -1);
+}
+
+TEST(TrialsToReach, EmptyCurveIsMinusOne) {
+  EXPECT_EQ(trials_to_reach({}, 5.0), -1);
+}
+
+TEST(TrialsToReach, InfiniteTargetIsZeroTrials) {
+  // Any program is no worse than an infinitely slow baseline, so the target
+  // is reached before the first measurement — even on an empty curve.
+  EXPECT_EQ(trials_to_reach(sample_curve(), kInf), 0);
+  EXPECT_EQ(trials_to_reach({}, kInf), 0);
+}
+
+TEST(TrialsToReach, NanTargetNeverReached) {
+  EXPECT_EQ(trials_to_reach(sample_curve(), std::nan("")), -1);
+  EXPECT_EQ(trials_to_reach({}, std::nan("")), -1);
+}
+
+// ---- best_at sentinels ---------------------------------------------------
+
+TEST(BestAt, NormalOperation) {
+  auto curve = sample_curve();
+  EXPECT_EQ(best_at(curve, 10), 5.0);
+  EXPECT_EQ(best_at(curve, 15), 5.0);  // between points: last landed best
+  EXPECT_EQ(best_at(curve, 20), 3.0);
+  EXPECT_EQ(best_at(curve, 40), 1.5);
+  EXPECT_EQ(best_at(curve, 1000), 1.5);  // beyond the end: final best
+}
+
+TEST(BestAt, EmptyCurveIsInfinity) { EXPECT_EQ(best_at({}, 100), kInf); }
+
+TEST(BestAt, BeforeFirstPointIsInfinity) {
+  // `trials` smaller than the first curve point: no measurement has landed.
+  EXPECT_EQ(best_at(sample_curve(), 9), kInf);
+  EXPECT_EQ(best_at(sample_curve(), 0), kInf);
+}
+
+TEST(BestAt, NegativeTrialsIsInfinity) {
+  EXPECT_EQ(best_at(sample_curve(), -5), kInf);
+}
+
+}  // namespace
+}  // namespace harl

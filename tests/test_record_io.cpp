@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+#include "io/record.hpp"
+#include "io/record_io.hpp"
+#include "sched/schedule.hpp"
+#include "sched/sketch.hpp"
+#include "util/rng.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(Json, ParsesScalarsAndContainers) {
+  json::ParseError err;
+  json::Value v = json::parse("{\"a\":1,\"b\":[true,null,\"x\"],\"c\":-2.5e3}", &err);
+  ASSERT_TRUE(err.ok) << err.to_string();
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.find("a")->as_int64(), 1);
+  const json::Value* b = v.find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].as_string(), "x");
+  EXPECT_DOUBLE_EQ(v.find("c")->as_double(), -2500.0);
+}
+
+TEST(Json, PreservesUint64Fidelity) {
+  // 2^64 - 1 does not fit a double; the raw-token representation must keep
+  // every digit through a parse -> dump round trip.
+  json::ParseError err;
+  json::Value v = json::parse("{\"hw\":18446744073709551615}", &err);
+  ASSERT_TRUE(err.ok);
+  EXPECT_EQ(v.find("hw")->as_uint64(), 18446744073709551615ULL);
+  EXPECT_EQ(v.dump(), "{\"hw\":18446744073709551615}");
+}
+
+TEST(Json, ReportsLineAndColumn) {
+  json::ParseError err;
+  json::parse("{\"a\":1,}", &err);
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.line, 1);
+  EXPECT_EQ(err.column, 8);
+
+  json::parse("{\n  \"a\": @\n}", &err);
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.line, 2);
+  EXPECT_EQ(err.column, 8);
+
+  json::parse("{\"a\":1} trailing", &err);
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.line, 1);
+  EXPECT_EQ(err.column, 9);
+}
+
+TEST(Json, StringEscapes) {
+  json::ParseError err;
+  json::Value v = json::parse("\"a\\n\\t\\\"b\\\\c\\u0041\"", &err);
+  ASSERT_TRUE(err.ok) << err.to_string();
+  EXPECT_EQ(v.as_string(), "a\n\t\"b\\cA");
+  // escape() emits a literal that parses back to the same bytes.
+  std::string wild = "tab\tquote\"backslash\\newline\nctrl\x01";
+  json::Value round = json::parse(json::escape(wild), &err);
+  ASSERT_TRUE(err.ok);
+  EXPECT_EQ(round.as_string(), wild);
+}
+
+TEST(Json, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, 0.1, 1.0 / 3.0, 6.795162141492879, 1e-300,
+                   123456789.123456789, 2.2250738585072014e-308}) {
+    json::ParseError err;
+    json::Value parsed = json::parse(json::format_double(v), &err);
+    ASSERT_TRUE(err.ok);
+    EXPECT_EQ(parsed.as_double(), v) << json::format_double(v);
+  }
+}
+
+TEST(Json, DuplicateKeysLastWins) {
+  json::ParseError err;
+  json::Value v = json::parse("{\"a\":1,\"a\":2}", &err);
+  ASSERT_TRUE(err.ok);
+  EXPECT_EQ(v.find("a")->as_int64(), 2);
+}
+
+// ------------------------------------------------------------ round trip
+
+std::vector<Subgraph> fuzz_subgraphs() {
+  std::vector<Subgraph> graphs;
+  graphs.push_back(make_gemm(128, 96, 64, 1, "rt_gemm"));       // T / T+CW / T+RF
+  graphs.push_back(make_conv2d(1, 14, 14, 32, 64, 3, 1, 1, "rt_conv"));
+  graphs.push_back(make_softmax(64, 256, "rt_softmax"));        // reduction + ew
+  graphs.push_back(make_elementwise(1 << 12, 2.0, "rt_ew"));    // kSimple
+  graphs.push_back(make_gemm_act(64, 64, 96, "tanh", "rt_fused"));  // fusion
+  graphs.push_back(make_depthwise_conv2d(1, 16, 16, 32, 3, 1, 1, "rt_dw"));
+  return graphs;
+}
+
+TuningRecord record_for(const Schedule& sched, double time_ms,
+                        std::int64_t trial) {
+  TuningRecord rec;
+  rec.network = "fuzz_net";
+  rec.task = sched.graph().name();
+  rec.task_index = 0;
+  rec.hardware_fp = 0xdeadbeefcafef00dULL;
+  rec.policy = "HARL";
+  rec.seed = 12345;
+  rec.sketch_id = sched.sketch->sketch_id;
+  rec.sketch_tag = sched.sketch->tag;
+  rec.stages = decisions_from_schedule(sched);
+  rec.time_ms = time_ms;
+  rec.trial_index = trial;
+  rec.cached = (trial % 3) == 0;
+  return rec;
+}
+
+// The satellite acceptance test: random valid schedules across all sketch
+// kinds survive serialize -> parse -> reconstruct with fingerprint equality
+// and byte-identical re-serialization.
+TEST(RecordRoundTrip, FuzzAllSketchKinds) {
+  Rng rng(2026);
+  const int kNumUnroll = 4;  // matches xeon_6226r()
+  int schedules_checked = 0;
+  for (const Subgraph& graph : fuzz_subgraphs()) {
+    std::vector<Sketch> sketches = generate_sketches(graph);
+    ASSERT_FALSE(sketches.empty()) << graph.name();
+    for (const Sketch& sketch : sketches) {
+      for (int i = 0; i < 25; ++i) {
+        Schedule sched = random_schedule(sketch, kNumUnroll, rng);
+        ASSERT_EQ(validate_schedule(sched, kNumUnroll), "");
+        TuningRecord rec =
+            record_for(sched, 0.001 + rng.next_double(), schedules_checked);
+
+        std::string line = record_to_json(rec);
+        TuningRecord parsed;
+        std::string error;
+        ASSERT_TRUE(record_from_json(line, &parsed, &error)) << error;
+        EXPECT_TRUE(parsed == rec) << line;
+        // Byte-identical re-serialization.
+        EXPECT_EQ(record_to_json(parsed), line);
+
+        Schedule rebuilt =
+            schedule_from_record(parsed, sketches, kNumUnroll, &error);
+        ASSERT_NE(rebuilt.sketch, nullptr) << error;
+        EXPECT_EQ(rebuilt.fingerprint(), sched.fingerprint());
+        ++schedules_checked;
+      }
+    }
+  }
+  EXPECT_GT(schedules_checked, 200);  // all sketch kinds actually covered
+}
+
+TEST(RecordRoundTrip, UnknownFieldsIgnored) {
+  Rng rng(7);
+  Subgraph g = make_gemm(32, 32, 32, 1, "uf_gemm");
+  std::vector<Sketch> sketches = generate_sketches(g);
+  Schedule sched = random_schedule(sketches[0], 4, rng);
+  TuningRecord rec = record_for(sched, 1.5, 0);
+  std::string line = record_to_json(rec);
+  // Splice a future field into the object (forward compatibility).
+  std::string extended = "{\"future_field\":[1,{\"x\":2}]," + line.substr(1);
+  TuningRecord parsed;
+  std::string error;
+  ASSERT_TRUE(record_from_json(extended, &parsed, &error)) << error;
+  EXPECT_TRUE(parsed == rec);
+}
+
+TEST(RecordRoundTrip, ReconstructionRejectsCorruptDecisions) {
+  Rng rng(11);
+  Subgraph g = make_gemm(32, 32, 32, 1, "bad_gemm");
+  std::vector<Sketch> sketches = generate_sketches(g);
+  Schedule sched = random_schedule(sketches[0], 4, rng);
+  TuningRecord rec = record_for(sched, 1.5, 0);
+
+  std::string error;
+  TuningRecord wrong_sketch = rec;
+  wrong_sketch.sketch_id = 999;
+  EXPECT_EQ(schedule_from_record(wrong_sketch, sketches, 4, &error).sketch, nullptr);
+  EXPECT_NE(error.find("unknown sketch"), std::string::npos);
+
+  TuningRecord wrong_tag = rec;
+  wrong_tag.sketch_tag = "T+NOPE";
+  EXPECT_EQ(schedule_from_record(wrong_tag, sketches, 4, &error).sketch, nullptr);
+
+  TuningRecord bad_tiles = rec;
+  bad_tiles.stages[0].tiles[0][0] += 1;  // product no longer matches extent
+  EXPECT_EQ(schedule_from_record(bad_tiles, sketches, 4, &error).sketch, nullptr);
+  EXPECT_NE(error.find("invalid"), std::string::npos);
+}
+
+// ------------------------------------------------------------- reader
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name) : path_("harl_test_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+  void write(const std::string& content) {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+};
+
+std::string valid_line() {
+  Rng rng(3);
+  static Subgraph g = make_gemm(16, 16, 16, 1, "line_gemm");
+  static std::vector<Sketch> sketches = generate_sketches(g);
+  Schedule sched = random_schedule(sketches[0], 4, rng);
+  return record_to_json(record_for(sched, 0.25, 1));
+}
+
+// The malformed-line corpus: the tolerant reader must keep every good record
+// and report each bad line with its 1-based position and a reason.
+TEST(RecordReader, MalformedCorpus) {
+  std::string good = valid_line();
+  std::string content;
+  content += good + "\n";                                 // 1: ok
+  content += "\n";                                        // 2: blank (silent)
+  content += "{\"v\":1\n";                                // 3: truncated JSON
+  content += "not json at all\n";                         // 4: garbage
+  content += "[1,2,3]\n";                                 // 5: not an object
+  content += "{\"v\":1}\n";                               // 6: missing fields
+  content += "{\"v\":99" + good.substr(6) + "\n";         // 7: future version
+  content += good.substr(0, good.size() / 2) + "\n";      // 8: torn line
+  content += "   \t  \n";                                 // 9: whitespace (silent)
+  content += good + "\n";                                 // 10: ok
+  std::string bad_type = good;
+  std::size_t pos = bad_type.find("\"cached\":");
+  bad_type.replace(pos, std::string("\"cached\":false").size(), "\"cached\":\"no\"");
+  content += bad_type + "\n";                             // 11: wrong type
+  content += good;                                        // 12: ok, no newline
+
+  TempFile file("malformed.jsonl");
+  file.write(content);
+
+  std::vector<RecordReadError> errors;
+  std::vector<TuningRecord> records = read_records(file.path(), &errors);
+  EXPECT_EQ(records.size(), 3u);
+  ASSERT_EQ(errors.size(), 7u);
+  EXPECT_EQ(errors[0].line_number, 3u);
+  EXPECT_EQ(errors[1].line_number, 4u);
+  EXPECT_EQ(errors[2].line_number, 5u);
+  EXPECT_EQ(errors[3].line_number, 6u);
+  EXPECT_NE(errors[3].message.find("missing required field"), std::string::npos);
+  EXPECT_EQ(errors[4].line_number, 7u);
+  EXPECT_NE(errors[4].message.find("incompatible version"), std::string::npos);
+  EXPECT_EQ(errors[5].line_number, 8u);
+  EXPECT_NE(errors[5].message.find("line "), std::string::npos);  // parse position
+  EXPECT_EQ(errors[6].line_number, 11u);
+  EXPECT_NE(errors[6].message.find("\"cached\""), std::string::npos);
+}
+
+TEST(RecordWriter, AppendAfterTornLineStartsFresh) {
+  std::string good = valid_line();
+  TempFile file("torn.jsonl");
+  file.write(good + "\n" + good.substr(0, good.size() / 2));  // torn tail
+
+  TuningRecord rec;
+  std::string error;
+  ASSERT_TRUE(record_from_json(good, &rec, &error)) << error;
+
+  RecordWriter writer;
+  ASSERT_TRUE(writer.open(file.path(), /*append=*/true));
+  ASSERT_TRUE(writer.write(rec));
+  writer.close();
+
+  std::vector<RecordReadError> errors;
+  std::vector<TuningRecord> records = read_records(file.path(), &errors);
+  EXPECT_EQ(records.size(), 2u);  // torn line isolated, new record intact
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].line_number, 2u);
+}
+
+TEST(RecordWriter, TruncateModeAndCounts) {
+  TuningRecord rec;
+  std::string error;
+  ASSERT_TRUE(record_from_json(valid_line(), &rec, &error)) << error;
+
+  TempFile file("truncate.jsonl");
+  {
+    RecordWriter writer;
+    ASSERT_TRUE(writer.open(file.path(), /*append=*/false));
+    EXPECT_TRUE(writer.write(rec));
+    EXPECT_TRUE(writer.write(rec));
+    EXPECT_EQ(writer.written(), 2u);
+  }
+  {
+    RecordWriter writer;
+    ASSERT_TRUE(writer.open(file.path(), /*append=*/false));  // truncates
+    EXPECT_TRUE(writer.write(rec));
+  }
+  EXPECT_EQ(read_records(file.path()).size(), 1u);
+}
+
+TEST(RecordReader, MissingFileIsEmpty) {
+  EXPECT_TRUE(read_records("harl_test_definitely_missing.jsonl").empty());
+  RecordReader reader;
+  EXPECT_FALSE(reader.open("harl_test_definitely_missing.jsonl"));
+}
+
+}  // namespace
+}  // namespace harl
