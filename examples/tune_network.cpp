@@ -10,6 +10,10 @@
 ///       [--trials=N] [--network=bert|resnet50|mobilenet_v2] [--seed=N]
 ///       [--policy=NAME]         tune one policy instead of the comparison
 ///       [--log=PATH]            append records; resume when the log exists
+///       [--model=PATH]          pretrained experience model (harl_harvest)
+///       [--verify-resume]       re-simulate a sample of replayed trials and
+///                               fail (exit 4) if the log diverges from the
+///                               current simulator instead of silently forking
 ///       [--stop-after-rounds=N] simulate a crash: _Exit(3) after N rounds
 ///       [--dump-rounds=PATH]    bit-exact round log (hexfloat) for diffing
 ///
@@ -87,6 +91,8 @@ int main(int argc, char** argv) {
   std::string policy_name;
   std::string log_path;
   std::string dump_path;
+  std::string model_path;
+  bool verify_resume_flag = false;
   int stop_after_rounds = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +107,10 @@ int main(int argc, char** argv) {
       policy_name = v;
     } else if (flag_value(argv[i], "--log", &v)) {
       log_path = v;
+    } else if (flag_value(argv[i], "--model", &v)) {
+      model_path = v;
+    } else if (std::strcmp(argv[i], "--verify-resume") == 0) {
+      verify_resume_flag = true;
     } else if (flag_value(argv[i], "--dump-rounds", &v)) {
       dump_path = v;
     } else if (flag_value(argv[i], "--stop-after-rounds", &v)) {
@@ -135,12 +145,54 @@ int main(int argc, char** argv) {
     SearchOptions opts = quick_options(PolicyKind::kHarl, seed);
     opts.policy_name = policy_name;
     if (auto kind = policy_kind_from_name(policy_name)) opts.policy = *kind;
+    opts.experience_model = model_path;
 
     TuningSession session(net, cpu, opts);
     RecordLogger logger;
     CrashAfterRounds crasher(stop_after_rounds);
     if (!log_path.empty()) {
-      ResumeStats st = resume_session(session, log_path);
+      std::vector<RecordReadError> read_errors;
+      std::vector<TuningRecord> records = read_records(log_path, &read_errors);
+      if (verify_resume_flag) {
+        VerifyResumeReport report = verify_resume(session, records);
+        if (!records.empty() && report.matched == 0) {
+          // A verification that matched nothing never ran; saying "ok" here
+          // would bless resuming a foreign log.
+          std::fprintf(stderr,
+                       "verify-resume FAILED: %zu records in %s, none match "
+                       "this run's identity (network/hardware/policy/seed/"
+                       "experience model)\n",
+                       records.size(), log_path.c_str());
+          return 4;
+        }
+        if (!report.ok()) {
+          std::fprintf(stderr,
+                       "verify-resume FAILED: %zu of %zu checked trials "
+                       "diverge from the current simulator\n",
+                       report.mismatches.size(), report.checked);
+          std::fprintf(stderr, "  %8s  %-24s  %16s  %16s\n", "trial", "task",
+                       "logged ms", "recomputed ms");
+          for (const VerifyResumeMismatch& m : report.mismatches) {
+            if (m.error.empty()) {
+              std::fprintf(stderr, "  %8lld  %-24s  %16.9g  %16.9g\n",
+                           static_cast<long long>(m.trial_index),
+                           m.task.c_str(), m.logged_ms, m.recomputed_ms);
+            } else {
+              std::fprintf(stderr, "  %8lld  %-24s  %16.9g  [%s]\n",
+                           static_cast<long long>(m.trial_index),
+                           m.task.c_str(), m.logged_ms, m.error.c_str());
+            }
+          }
+          std::fprintf(stderr,
+                       "the log was produced by a different simulator/hardware "
+                       "model; resuming would fork the run\n");
+          return 4;
+        }
+        std::printf("verify-resume: %zu of %zu replayable trials re-simulated, "
+                    "all bit-identical\n",
+                    report.checked, report.matched);
+      }
+      ResumeStats st = resume_session(session, records);
       if (!logger.open(log_path, /*append=*/true)) {
         std::fprintf(stderr, "cannot open log %s\n", log_path.c_str());
         return 1;
@@ -152,7 +204,7 @@ int main(int argc, char** argv) {
                     log_path.c_str(), st.records_matched,
                     static_cast<long long>(st.replay_trials));
       }
-      for (const RecordReadError& e : st.errors) {
+      for (const RecordReadError& e : read_errors) {
         std::fprintf(stderr, "  skipped log line %zu: %s\n", e.line_number,
                      e.message.c_str());
       }

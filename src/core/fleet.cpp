@@ -8,6 +8,7 @@
 #include <chrono>
 #include <thread>
 
+#include "cost/gbdt_io.hpp"
 #include "io/resume.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
@@ -82,6 +83,30 @@ FleetReport FleetTuner::run() {
     }
   }
 
+  // One shared pretrained model for the whole fleet: loaded here, handed to
+  // every session that does not bring its own (TaskScheduler would otherwise
+  // re-read the file once per workload).
+  std::shared_ptr<const Gbdt> fleet_pretrained;
+  std::uint64_t fleet_pretrained_fp = 0;
+  if (!opts_.experience_model.empty()) {
+    auto model = std::make_shared<Gbdt>();
+    std::string error;
+    if (!load_gbdt(opts_.experience_model, model.get(), &error)) {
+      HARL_LOG_WARN("fleet: experience model ignored: %s", error.c_str());
+    } else if (model->num_features() != FeatureExtractor::kNumFeatures) {
+      HARL_LOG_WARN(
+          "fleet: experience model %s has %d features (extractor has %d); "
+          "ignored",
+          opts_.experience_model.c_str(), model->num_features(),
+          FeatureExtractor::kNumFeatures);
+    } else {
+      // Hash once here: per-session hashing would re-serialize the shared
+      // forest on every fleet thread.
+      fleet_pretrained_fp = gbdt_fingerprint(*model);
+      fleet_pretrained = std::move(model);
+    }
+  }
+
   std::size_t fleet_threads = opts_.max_concurrent > 0
                                   ? static_cast<std::size_t>(opts_.max_concurrent)
                                   : std::max(1u, std::thread::hardware_concurrency());
@@ -93,6 +118,11 @@ FleetReport FleetTuner::run() {
     const FleetWorkload& w = workloads_[i];
     SearchOptions opts = w.options;
     if (opts.pool == nullptr) opts.pool = opts_.measure_pool;
+    if (fleet_pretrained != nullptr && opts.cost_model.pretrained == nullptr &&
+        opts.experience_model.empty()) {
+      opts.cost_model.pretrained = fleet_pretrained;
+      opts.cost_model.pretrained_fingerprint = fleet_pretrained_fp;
+    }
     auto t0 = std::chrono::steady_clock::now();
     // Session construction (sketch generation per subgraph) is part of the
     // serving cost, so it runs on the fleet thread and counts in wall time.

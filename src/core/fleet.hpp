@@ -76,6 +76,11 @@ class FleetTuner {
     /// re-simulating them.  A fleet killed mid-run therefore resumes every
     /// network from its last completed round on the next `run()`.
     std::string log_dir;
+    /// Pretrained experience model (`harl_harvest harvest` output) applied
+    /// to every workload that does not carry its own
+    /// `cost_model.pretrained` / `experience_model`.  Loaded once per fleet
+    /// run and shared read-only across all sessions.
+    std::string experience_model;
   };
 
   FleetTuner() = default;

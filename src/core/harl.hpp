@@ -18,6 +18,8 @@
 ///                open policy registry
 ///   io         - JSONL tuning records, record log writer/reader, callback
 ///                bus, record logger, checkpoint/resume
+///   exp        - experience subsystem: offline harvest + GBDT pre-training,
+///                log compaction, scored history transfer
 ///   core       - TuningSession entry point, option presets, fleet tuner
 
 #include "bandit/sw_ucb.hpp"
@@ -26,6 +28,10 @@
 #include "core/report.hpp"
 #include "core/tuning.hpp"
 #include "cost/cost_model.hpp"
+#include "cost/gbdt_io.hpp"
+#include "exp/compact.hpp"
+#include "exp/experience.hpp"
+#include "exp/transfer.hpp"
 #include "features/feature_extractor.hpp"
 #include "hwsim/hardware_config.hpp"
 #include "hwsim/measure_cache.hpp"
@@ -47,6 +53,7 @@
 #include "sched/tiling.hpp"
 #include "search/adaptive_stopping.hpp"
 #include "search/task_scheduler.hpp"
+#include "search/task_select.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

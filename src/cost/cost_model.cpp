@@ -51,24 +51,40 @@ void XgbCostModel::refit(bool full) {
   }
 }
 
+double XgbCostModel::blended(const double* row) const {
+  // Weight the online model by how much it has seen: with no own samples the
+  // pretrained fleet experience decides alone, and by `pretrained_half_life`
+  // samples the two contribute equally.  Without a pretrained model (or with
+  // one of the wrong feature width) this is exactly the original online
+  // prediction.
+  const Gbdt* pre = cfg_.pretrained.get();
+  bool pre_ok = pre != nullptr && pre->trained() &&
+                pre->num_features() == FeatureExtractor::kNumFeatures;
+  if (!model_.trained()) return pre_ok ? pre->predict(row) : 0.5;
+  double own = model_.predict(row);
+  if (!pre_ok) return own;
+  double n = static_cast<double>(times_.size());
+  double w = n / (n + static_cast<double>(std::max(1, cfg_.pretrained_half_life)));
+  return w * own + (1.0 - w) * pre->predict(row);
+}
+
 double XgbCostModel::predict(const Schedule& sched) const {
-  if (!model_.trained()) return 0.5;
+  if (!trained()) return 0.5;
   double row[FeatureExtractor::kNumFeatures];
   extractor_.extract_into(sched, row);
-  double score = model_.predict(row);
-  return std::clamp(score, kMinScore, 1.5);
+  return std::clamp(blended(row), kMinScore, 1.5);
 }
 
 std::vector<double> XgbCostModel::predict_batch(
     const std::vector<Schedule>& scheds) const {
   std::vector<double> out(scheds.size(), 0.5);
-  if (!model_.trained() || scheds.empty()) return out;
+  if (!trained() || scheds.empty()) return out;
   constexpr std::size_t kW = FeatureExtractor::kNumFeatures;
   ThreadPool& pool = pool_ ? *pool_ : global_pool();
   batch_features_.resize(scheds.size() * kW);
   extractor_.extract_matrix_into(scheds, batch_features_.data(), &pool);
   pool.parallel_for(scheds.size(), [&](std::size_t i) {
-    out[i] = std::clamp(model_.predict(&batch_features_[i * kW]), kMinScore, 1.5);
+    out[i] = std::clamp(blended(&batch_features_[i * kW]), kMinScore, 1.5);
   });
   return out;
 }

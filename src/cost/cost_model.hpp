@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cost/gbdt.hpp"
@@ -22,6 +23,21 @@ struct CostModelConfig {
   int refit_period = 1;
   /// Trees added per warm-start update when `refit_period > 1`.
   int warm_trees = 8;
+  /// Pre-trained experience model (src/exp/): a GBDT fit offline on
+  /// harvested record logs, shared read-only across every task of a run
+  /// (and across fleet sessions — `Gbdt::predict` is const and stateless).
+  /// Scores blend pretrained and online predictions; see
+  /// `pretrained_half_life`.  nullptr = cold start (original behavior).
+  std::shared_ptr<const Gbdt> pretrained;
+  /// `gbdt_fingerprint(*pretrained)`, when the caller already computed it
+  /// (FleetTuner shares one model across many sessions).  0 = let the
+  /// scheduler compute it from `pretrained`.
+  std::uint64_t pretrained_fingerprint = 0;
+  /// Own-sample count at which the online model carries half the blended
+  /// score: weight_online = n / (n + half_life).  Small tasks lean on fleet
+  /// experience; once a task has measured a few hundred schedules its own
+  /// model dominates.
+  int pretrained_half_life = 32;
 };
 
 /// The learned cost model C(.) of the paper (Section 4.3): an XGBoost-style
@@ -42,7 +58,11 @@ class XgbCostModel {
  public:
   explicit XgbCostModel(const HardwareConfig* hw, CostModelConfig cfg = {});
   XgbCostModel(const HardwareConfig* hw, GbdtConfig gbdt_cfg)
-      : XgbCostModel(hw, CostModelConfig{gbdt_cfg}) {}
+      : XgbCostModel(hw, [&gbdt_cfg] {
+          CostModelConfig c;
+          c.gbdt = gbdt_cfg;
+          return c;
+        }()) {}
 
   /// Record measured schedules and retrain (Algorithm 1, line 22).
   void update(const std::vector<Schedule>& scheds, const std::vector<double>& times_ms);
@@ -55,7 +75,12 @@ class XgbCostModel {
   /// Pool used by `predict_batch` scoring; nullptr restores the global pool.
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
-  bool trained() const { return model_.trained(); }
+  bool trained() const { return model_.trained() || has_pretrained(); }
+  /// The online model alone (ignores the pretrained prior).
+  bool own_trained() const { return model_.trained(); }
+  bool has_pretrained() const {
+    return cfg_.pretrained != nullptr && cfg_.pretrained->trained();
+  }
   std::size_t num_samples() const { return times_.size(); }
   double best_time_ms() const { return best_time_ms_; }
   const CostModelConfig& config() const { return cfg_; }
@@ -69,6 +94,8 @@ class XgbCostModel {
 
  private:
   void refit(bool full);
+  /// Blend the online and pretrained predictions for one feature row.
+  double blended(const double* row) const;
 
   CostModelConfig cfg_;
   FeatureExtractor extractor_;

@@ -380,6 +380,23 @@ void Gbdt::boost(const std::vector<double>& x, int num_features,
   }
 }
 
+void Gbdt::restore(GbdtConfig cfg, int num_features, int num_trees,
+                   double base_score, std::vector<int> flat_feature,
+                   std::vector<double> flat_thresh, std::vector<int> flat_child,
+                   std::vector<int> flat_root, std::uint64_t rng_state,
+                   std::uint64_t rng_inc) {
+  cfg_ = cfg;
+  num_features_ = num_features;
+  num_trees_fit_ = num_trees;
+  base_score_ = base_score;
+  flat_feature_ = std::move(flat_feature);
+  flat_thresh_ = std::move(flat_thresh);
+  flat_child_ = std::move(flat_child);
+  flat_root_ = std::move(flat_root);
+  rng_.restore_state(rng_state, rng_inc);
+  pred_.clear();
+}
+
 void Gbdt::flatten(const RegressionTree& tree) {
   const std::vector<RegressionTree::Node>& nodes = tree.nodes();
   auto alloc = [&]() {

@@ -112,6 +112,26 @@ class Gbdt {
   int total_nodes() const { return static_cast<int>(flat_feature_.size()); }
   const GbdtConfig& config() const { return cfg_; }
 
+  // ---- serialization support (cost/gbdt_io.hpp) -----------------------
+  // The flat forest plus base score and learning rate is the complete
+  // inference state; the RNG words make a saved model's `fit_more` stream
+  // continue exactly where the in-memory model's would have.
+  double base_score() const { return base_score_; }
+  const std::vector<int>& flat_feature() const { return flat_feature_; }
+  const std::vector<double>& flat_thresh() const { return flat_thresh_; }
+  const std::vector<int>& flat_child() const { return flat_child_; }
+  const std::vector<int>& flat_root() const { return flat_root_; }
+  const Rng& rng() const { return rng_; }
+
+  /// Restore a fitted ensemble from serialized state.  The caller is
+  /// responsible for structural validity (gbdt_from_json checks child/root
+  /// indices before calling).  Running predictions (`pred_`) are dropped;
+  /// a later `fit_more` re-baselines them from the restored forest.
+  void restore(GbdtConfig cfg, int num_features, int num_trees, double base_score,
+               std::vector<int> flat_feature, std::vector<double> flat_thresh,
+               std::vector<int> flat_child, std::vector<int> flat_root,
+               std::uint64_t rng_state, std::uint64_t rng_inc);
+
  private:
   /// Boost `rounds` trees against y - pred_, appending to the flat forest.
   void boost(const std::vector<double>& x, int num_features,

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cost/gbdt.hpp"
+#include "hwsim/hardware_config.hpp"
+#include "io/record.hpp"
+#include "io/record_io.hpp"
+
+namespace harl {
+
+class ThreadPool;
+
+/// Maps a record's (network name, task name) provenance back to the subgraph
+/// it was measured on, so the harvester can regenerate sketches and
+/// reconstruct schedules.  Return nullptr for unknown tasks (they are
+/// counted and skipped, not fatal).
+using TaskResolver = std::function<const Subgraph*(const std::string& network,
+                                                   const std::string& task)>;
+
+/// Resolver for the shipped workload inventory: parses the
+/// `make_network`-style name "<base>_b<batch>" (e.g. "bert_b1",
+/// "resnet50_b4"), instantiates the network once per distinct name, and
+/// looks the task up by subgraph name.  Custom networks need a custom
+/// resolver (see `ExperienceStore::build_dataset`).
+TaskResolver make_builtin_resolver();
+
+/// Outcome of one harvest (`ExperienceStore::build_dataset`).
+struct HarvestStats {
+  std::size_t logs_read = 0;         ///< files opened by add_log
+  std::size_t lines_skipped = 0;     ///< malformed/incompatible input lines
+  std::size_t records = 0;           ///< records folded in (before dedup)
+  std::size_t duplicates = 0;        ///< identical records dropped (overlapping logs)
+  std::size_t unknown_tasks = 0;     ///< records the resolver could not place
+  std::size_t invalid_schedules = 0; ///< records whose schedule failed to rebuild
+  std::size_t groups = 0;            ///< distinct (network, task, hardware) groups
+  std::size_t rows = 0;              ///< training rows produced
+};
+
+/// One flat offline training set: schedule features re-extracted under the
+/// *target* hardware and normalized-throughput labels (group best / time,
+/// the same label `XgbCostModel` trains on).
+struct ExperienceDataset {
+  std::vector<double> features;  ///< rows x FeatureExtractor::kNumFeatures
+  std::vector<double> labels;
+  std::size_t rows = 0;
+};
+
+/// Folds many tuning logs into one reusable training set — the offline half
+/// of the cost model (the Steiner et al. value-function direction): a fleet
+/// that logs every measurement can pre-train a GBDT overnight and hand every
+/// new `TuningSession` a warm model instead of a cold one.
+///
+/// Determinism contract: the harvested dataset (and therefore the trained
+/// model bytes) is a pure function of the *set* of well-formed records added
+/// — records are canonically ordered and exact duplicates dropped before
+/// featurization, so the same logs added in any order, split across files,
+/// or overlapping with their own compacted form produce bit-identical
+/// models.
+class ExperienceStore {
+ public:
+  /// Streams one JSONL log in tolerantly (missing file = 0 records, not an
+  /// error, matching `read_records`).  Returns the records added.
+  std::size_t add_log(const std::string& path);
+
+  void add_records(const std::vector<TuningRecord>& records);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<TuningRecord>& records() const { return records_; }
+
+  /// Build the offline training set for `hw`.  Schedules are reconstructed
+  /// against the resolver's subgraphs (records that fail to resolve or
+  /// validate are counted and skipped), features extracted in bulk with
+  /// `extract_matrix_into` (optionally on `pool`; the fill is deterministic
+  /// either way), and labels normalized per (network, task, hardware
+  /// fingerprint) group.
+  ExperienceDataset build_dataset(const HardwareConfig& hw,
+                                  const TaskResolver& resolver,
+                                  HarvestStats* stats = nullptr,
+                                  ThreadPool* pool = nullptr) const;
+
+  /// Convenience: `build_dataset` + a full `Gbdt::fit`.  The returned model
+  /// is untrained when the harvest produced fewer than 4 rows.
+  Gbdt pretrain(const HardwareConfig& hw, const GbdtConfig& cfg,
+                const TaskResolver& resolver, HarvestStats* stats = nullptr,
+                ThreadPool* pool = nullptr) const;
+
+ private:
+  std::vector<TuningRecord> records_;
+  std::size_t logs_read_ = 0;
+  std::size_t lines_skipped_ = 0;
+};
+
+}  // namespace harl

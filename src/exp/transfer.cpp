@@ -1,0 +1,277 @@
+#include "exp/transfer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/tuning.hpp"
+#include "sched/tiling.hpp"
+#include "util/logging.hpp"
+
+namespace harl {
+
+std::vector<std::int64_t> adapt_tile_factors(
+    const std::vector<std::int64_t>& source_factors, std::int64_t target_extent) {
+  std::int64_t src_product = 1;
+  for (std::int64_t f : source_factors) src_product *= std::max<std::int64_t>(1, f);
+  if (src_product == target_extent) return source_factors;
+
+  std::size_t levels = source_factors.size();
+  std::vector<std::int64_t> out(levels, 1);
+  if (levels == 0) return out;
+  if (levels == 1 || src_product <= 1) {
+    // No proportions to mimic: match trivial_tile (everything innermost).
+    out.back() = target_extent;
+    return out;
+  }
+
+  // Target per-level shares of log(extent), from the source's proportions.
+  double src_log = std::log(static_cast<double>(src_product));
+  std::vector<double> share(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    share[l] = std::log(static_cast<double>(std::max<std::int64_t>(1, source_factors[l]))) /
+               src_log;
+  }
+
+  // Greedy: place each prime (largest first, so big factors land where the
+  // share deficit is largest) at the level furthest below its share.  Ties
+  // go innermost, matching the bias of most good schedules.
+  std::vector<std::int64_t> primes = factorize(target_extent);
+  double tgt_log = std::log(static_cast<double>(std::max<std::int64_t>(2, target_extent)));
+  std::vector<double> placed(levels, 0.0);
+  for (std::size_t p = primes.size(); p-- > 0;) {
+    double lp = std::log(static_cast<double>(primes[p]));
+    std::size_t best = levels - 1;
+    double best_deficit = -std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < levels; ++l) {
+      double deficit = share[l] * tgt_log - placed[l];
+      if (deficit > best_deficit || (deficit == best_deficit && l > best)) {
+        best_deficit = deficit;
+        best = l;
+      }
+    }
+    out[best] *= primes[p];
+    placed[best] += lp;
+  }
+  return out;
+}
+
+Schedule adapt_record_schedule(const TuningRecord& rec,
+                               const std::vector<Sketch>& sketches,
+                               int num_unroll_options, std::string* error) {
+  Schedule none;
+  const Sketch* sketch = nullptr;
+  for (const Sketch& sk : sketches) {
+    if (sk.sketch_id == rec.sketch_id) {
+      sketch = &sk;
+      break;
+    }
+  }
+  // Fall back to the structural tag: sibling tasks usually generate the same
+  // sketch family, but ids can shift when rule applicability differs.
+  if (sketch == nullptr && !rec.sketch_tag.empty()) {
+    for (const Sketch& sk : sketches) {
+      if (sk.tag == rec.sketch_tag) {
+        sketch = &sk;
+        break;
+      }
+    }
+  }
+  if (sketch == nullptr) {
+    *error = "no sketch with id " + std::to_string(rec.sketch_id) + " or tag \"" +
+             rec.sketch_tag + "\"";
+    return none;
+  }
+  const Subgraph& g = *sketch->graph;
+  if (static_cast<int>(rec.stages.size()) != g.num_stages()) {
+    *error = "stage count mismatch";
+    return none;
+  }
+
+  Schedule sched;
+  sched.sketch = sketch;
+  sched.stages.resize(rec.stages.size());
+  for (int s = 0; s < g.num_stages(); ++s) {
+    const StageDecision& d = rec.stages[static_cast<std::size_t>(s)];
+    const TensorOp& op = g.stage(s).op;
+    StageSchedule& ss = sched.stages[static_cast<std::size_t>(s)];
+    if (!d.tiles.empty()) {
+      if (d.tiles.size() != op.axes.size()) {
+        *error = "stage " + std::to_string(s) + ": axis count mismatch";
+        return none;
+      }
+      ss.tiles.reserve(d.tiles.size());
+      for (std::size_t a = 0; a < d.tiles.size(); ++a) {
+        TileVector t;
+        t.factors = adapt_tile_factors(d.tiles[a], op.axes[a].extent);
+        ss.tiles.push_back(std::move(t));
+      }
+    }
+    ss.compute_at = std::clamp(d.compute_at, 0, kComputeAtCandidates - 1);
+    ss.parallel_depth = std::clamp(d.parallel_depth, 0, op.num_spatial_axes());
+    ss.unroll_index = std::clamp(d.unroll_index, 0, num_unroll_options - 1);
+  }
+  std::string invalid = validate_schedule(sched, num_unroll_options);
+  if (!invalid.empty()) {
+    *error = "adapted schedule invalid: " + invalid;
+    return none;
+  }
+  return sched;
+}
+
+namespace {
+
+/// Anchor-stage extents as logged: the per-axis tile products of the
+/// record's anchor-position stage (tile products equal extents by the
+/// TileVector invariant, so old records carry their shape implicitly).
+std::vector<std::int64_t> record_anchor_extents(const TuningRecord& rec,
+                                                int anchor_stage) {
+  std::vector<std::int64_t> out;
+  if (anchor_stage < 0 ||
+      static_cast<std::size_t>(anchor_stage) >= rec.stages.size()) {
+    return out;
+  }
+  for (const auto& factors : rec.stages[static_cast<std::size_t>(anchor_stage)].tiles) {
+    std::int64_t p = 1;
+    for (std::int64_t f : factors) p *= std::max<std::int64_t>(1, f);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double extent_similarity(const std::vector<std::int64_t>& a,
+                         const std::vector<std::int64_t>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double dist = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] <= 0 || b[i] <= 0) return 0.0;
+    double r = std::log(static_cast<double>(a[i]) / static_cast<double>(b[i]));
+    dist += r < 0 ? -r : r;
+  }
+  return std::exp(-dist / static_cast<double>(a.size()));
+}
+
+struct Candidate {
+  const TuningRecord* record = nullptr;
+  std::size_t index = 0;   ///< position in the input (deterministic tie-break)
+  bool exact = false;
+  double score = 0;        ///< hw_sim * extent_sim (2.0 marker for exact)
+  double est_time_ms = 0;
+};
+
+}  // namespace
+
+TransferStats transfer_history_best(TuningSession& session,
+                                    const std::vector<TuningRecord>& records,
+                                    const TransferOptions& opts) {
+  TransferStats stats;
+  TaskScheduler& sched = session.scheduler();
+  const HardwareConfig& hw = sched.hardware();
+  const std::uint64_t hw_fp = hw.fingerprint();
+  const int num_unroll = hw.num_unroll_options();
+  const std::vector<double> hw_vec = hw.similarity_vector();
+  const double hw_peak = HardwareConfig::peak_flops_of(hw_vec);
+
+  for (int i = 0; i < sched.num_tasks(); ++i) {
+    TaskState& task = sched.task(i);
+    const Subgraph& graph = task.graph();
+    const std::string& name = graph.name();
+    const std::string sig = graph.structure_signature();
+    const int anchor = graph.anchor_stage();
+    const TensorOp& anchor_op = graph.stage(anchor).op;
+    std::vector<std::int64_t> target_extents;
+    target_extents.reserve(anchor_op.axes.size());
+    for (const Axis& a : anchor_op.axes) target_extents.push_back(a.extent);
+    const double target_points =
+        static_cast<double>(anchor_op.iter_space_points());
+
+    std::vector<Candidate> candidates;
+    for (std::size_t r = 0; r < records.size(); ++r) {
+      const TuningRecord& rec = records[r];
+      if (!(rec.time_ms > 0)) continue;
+      bool exact = rec.task == name && rec.hardware_fp == hw_fp;
+      if (exact) {
+        candidates.push_back({&rec, r, true, 2.0, rec.time_ms});
+        continue;
+      }
+      if (!opts.structural) continue;
+
+      double hw_sim = 1.0;
+      double speed_ratio = 1.0;  // source peak / target peak
+      if (rec.hardware_fp != hw_fp) {
+        hw_sim = HardwareConfig::similarity(rec.hw_sim, hw_vec);
+        if (hw_sim <= 0) continue;  // no similarity vector: cannot cross hw
+        double src_peak = HardwareConfig::peak_flops_of(rec.hw_sim);
+        if (src_peak > 0 && hw_peak > 0) speed_ratio = src_peak / hw_peak;
+      }
+      // Structure gate: signatures must agree when the record carries one
+      // (records from before the field rely on adaptation shape checks).
+      if (!rec.task_sig.empty() && rec.task_sig != sig) continue;
+
+      std::vector<std::int64_t> src_extents = record_anchor_extents(rec, anchor);
+      double ext_sim = extent_similarity(src_extents, target_extents);
+      if (ext_sim <= 0) continue;
+      double score = hw_sim * ext_sim;
+      if (score < opts.min_score) continue;
+
+      double src_points = 1;
+      for (std::int64_t e : src_extents) src_points *= static_cast<double>(e);
+      double est = rec.time_ms * (target_points / src_points) * speed_ratio *
+                   opts.time_penalty;
+      candidates.push_back({&rec, r, false, score, est});
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.exact != b.exact) return a.exact;
+                if (a.score != b.score) return a.score > b.score;
+                if (a.est_time_ms != b.est_time_ms) {
+                  return a.est_time_ms < b.est_time_ms;
+                }
+                return a.index < b.index;
+              });
+
+    for (const Candidate& c : candidates) {
+      // The list is ranked by similarity, not estimated time, so a later
+      // candidate can still improve where this one does not.
+      if (!(c.est_time_ms < task.best_time_ms())) continue;
+      std::string error;
+      Schedule s = c.exact
+                       ? schedule_from_record(*c.record, task.sketches(),
+                                              num_unroll, &error)
+                       : adapt_record_schedule(*c.record, task.sketches(),
+                                               num_unroll, &error);
+      if (s.sketch == nullptr) {
+        ++stats.rejected;
+        HARL_LOG_DEBUG("transfer: dropping candidate for task %s: %s",
+                       name.c_str(), error.c_str());
+        continue;
+      }
+      if (c.exact) {
+        // A real measurement on this exact (task, hardware): commit it as a
+        // cached measurement — best/curve/cost model update, no trial
+        // consumed.  This counts as a task round, so the warmed task skips
+        // the scheduler's warmup pass — intended warm-start behavior.
+        MeasuredRecord mr;
+        mr.sched = std::move(s);
+        mr.time_ms = c.est_time_ms;
+        mr.trial_index = c.record->trial_index;
+        mr.cached = true;
+        task.commit_measurements({mr});
+        ++stats.exact;
+      } else {
+        // A scaled *estimate*: seed the search with it (best pool + cost
+        // model) without claiming a best latency or blocking re-measurement
+        // — an estimate committed as a measurement could stand as a phantom
+        // best the simulator never produced.
+        task.seed_estimate(s, c.est_time_ms);
+        ++stats.transferred;
+      }
+      ++stats.applied;
+      break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace harl

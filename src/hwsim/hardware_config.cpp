@@ -1,5 +1,7 @@
 #include "hwsim/hardware_config.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <sstream>
 
@@ -45,6 +47,48 @@ std::uint64_t HardwareConfig::fingerprint() const {
   for (int d : unroll_depths) mix64(&h, static_cast<std::uint64_t>(d + 1));
   mix_double(&h, noise_sigma);
   return h;
+}
+
+std::vector<double> HardwareConfig::similarity_vector() const {
+  double inner_cap = 1.0;
+  double total_cap = 1.0;
+  double backing_bw = 1.0;
+  if (!levels.empty()) {
+    inner_cap = std::max(1.0, levels.front().capacity_bytes);
+    backing_bw = std::max(1e-3, levels.back().serve_bandwidth_gbps);
+    double sum = 0;
+    for (const CacheLevel& l : levels) sum += l.capacity_bytes;
+    total_cap = std::max(1.0, sum);
+  }
+  return {
+      static_cast<double>(num_cores),
+      freq_ghz,
+      static_cast<double>(vector_lanes),
+      flops_per_cycle_per_lane,
+      inner_cap,
+      total_cap,
+      backing_bw,
+      fork_join_us + 1.0,
+      loop_overhead_cycles + 1.0,
+      static_cast<double>(unroll_depths.size()),
+  };
+}
+
+double HardwareConfig::similarity(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  double dist = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] > 0) || !(b[i] > 0)) return 0.0;
+    double r = std::log(a[i] / b[i]);
+    dist += r < 0 ? -r : r;
+  }
+  return std::exp(-dist / static_cast<double>(a.size()));
+}
+
+double HardwareConfig::peak_flops_of(const std::vector<double>& v) {
+  if (v.size() < 4) return 0.0;
+  return v[0] * v[1] * 1e9 * v[2] * v[3];
 }
 
 std::string HardwareConfig::validate() const {

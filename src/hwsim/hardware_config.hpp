@@ -69,6 +69,25 @@ struct HardwareConfig {
   /// machine model is detected instead of silently trusted.
   std::uint64_t fingerprint() const;
 
+  /// The fingerprint's numeric components in comparable form (all entries
+  /// positive): cores, frequency, vector width, flops/cycle/lane, innermost
+  /// and total cache capacity, backing-store bandwidth, fork/join and loop
+  /// overheads, unroll-option count.  Stamped into tuning records (field
+  /// `hwv`) so experience transfer can score how similar the logging machine
+  /// was to the tuning machine even when the exact config is unknown.
+  std::vector<double> similarity_vector() const;
+
+  /// Similarity of two `similarity_vector()`s in [0, 1]:
+  /// exp(-mean |ln(a_i / b_i)|), i.e. 1.0 for identical machines, decaying
+  /// with the geometric distance of each component.  Vectors of different
+  /// lengths (different schema generations) score 0.
+  static double similarity(const std::vector<double>& a,
+                           const std::vector<double>& b);
+
+  /// Peak fp32 flops/s encoded in a `similarity_vector()` (components 0-3:
+  /// cores * GHz * lanes * flops/cycle/lane); 0 when the vector is too short.
+  static double peak_flops_of(const std::vector<double>& v);
+
   /// CPU preset modeled after the paper's Intel Xeon 6226R (32 cores,
   /// 2.9 GHz, AVX-512).
   static HardwareConfig xeon_6226r();

@@ -34,6 +34,10 @@ double Measurer::noisy(double ms, std::int64_t trial_index) const {
   return ms * rng.next_lognoise(sigma);
 }
 
+double Measurer::remeasure(const Schedule& sched, std::int64_t trial_index) const {
+  return noisy(sim_->simulate_ms(sched), trial_index);
+}
+
 MeasureResult Measurer::measure_one(const Schedule& sched) {
   std::uint64_t fp = 0;
   if (cache_.enabled()) {

@@ -87,6 +87,13 @@ class Measurer {
   /// Simulator invocations avoided via the replay table so far.
   std::int64_t replayed() const { return replayed_.load(); }
 
+  /// Verification path (`verify_resume`): recompute the measurement a
+  /// schedule would have produced at `trial_index` — simulator time plus the
+  /// deterministic per-(seed, trial) noise draw — without touching the trial
+  /// counter, cache, or replay table.  Equal to the logged time bit-for-bit
+  /// when the simulator and hardware model are unchanged.
+  double remeasure(const Schedule& sched, std::int64_t trial_index) const;
+
  private:
   double noisy(double ms, std::int64_t trial_index) const;
   /// Replay-table lookup for `trial_index`; NaN when absent.

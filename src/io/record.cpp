@@ -10,7 +10,8 @@ bool TuningRecord::operator==(const TuningRecord& o) const {
          policy == o.policy && seed == o.seed && sketch_id == o.sketch_id &&
          sketch_tag == o.sketch_tag && stages == o.stages &&
          time_ms == o.time_ms && trial_index == o.trial_index &&
-         cached == o.cached;
+         cached == o.cached && task_sig == o.task_sig && hw_sim == o.hw_sim &&
+         experience_fp == o.experience_fp;
 }
 
 std::vector<StageDecision> decisions_from_schedule(const Schedule& sched) {
@@ -59,6 +60,15 @@ std::string record_to_json(const TuningRecord& rec) {
   obj.set("ms", Value::number(rec.time_ms));
   obj.set("trial", Value::number(rec.trial_index));
   obj.set("cached", Value::boolean(rec.cached));
+  // Optional transfer provenance: omitted when empty, so records without it
+  // (and re-serialized old records) stay byte-identical to their source.
+  if (!rec.task_sig.empty()) obj.set("sig", Value::string(rec.task_sig));
+  if (!rec.hw_sim.empty()) {
+    Value hwv = Value::array();
+    for (double d : rec.hw_sim) hwv.push_back(Value::number(d));
+    obj.set("hwv", std::move(hwv));
+  }
+  if (rec.experience_fp != 0) obj.set("xm", Value::number(rec.experience_fp));
   return obj.dump();
 }
 
@@ -145,6 +155,36 @@ bool record_from_json(const std::string& line, TuningRecord* rec,
     return false;
   }
   out.cached = v->as_bool();
+
+  // Optional fields (absent in records written before experience transfer).
+  if (const json::Value* sig = obj.find("sig"); sig != nullptr) {
+    if (!sig->is_string()) {
+      *error = "field \"sig\" is not a string";
+      return false;
+    }
+    out.task_sig = sig->as_string();
+  }
+  if (const json::Value* hwv = obj.find("hwv"); hwv != nullptr) {
+    if (!hwv->is_array()) {
+      *error = "field \"hwv\" is not an array";
+      return false;
+    }
+    out.hw_sim.reserve(hwv->items().size());
+    for (const json::Value& d : hwv->items()) {
+      if (!d.is_number()) {
+        *error = "field \"hwv\" has a non-numeric entry";
+        return false;
+      }
+      out.hw_sim.push_back(d.as_double());
+    }
+  }
+  if (const json::Value* xm = obj.find("xm"); xm != nullptr) {
+    if (!xm->is_number()) {
+      *error = "field \"xm\" is not a number";
+      return false;
+    }
+    out.experience_fp = xm->as_uint64();
+  }
 
   if (!require(obj, "stages", &v, error)) return false;
   if (!v->is_array()) {

@@ -50,6 +50,21 @@ struct TuningRecord {
   std::int64_t trial_index = 0;
   bool cached = false;        ///< replayed from the measure cache (no trial)
 
+  // Optional transfer provenance (schema v1 additive fields; empty when the
+  // record predates them).  `task_sig` is Subgraph::structure_signature() —
+  // the extent-free per-stage op-kind list — and `hw_sim` is
+  // HardwareConfig::similarity_vector().  Together they let a scored matcher
+  // decide how well this record transfers to a *different* task or machine
+  // without access to the original Subgraph/HardwareConfig objects.
+  std::string task_sig;
+  std::vector<double> hw_sim;
+  /// Fingerprint of the pretrained experience model active during the run
+  /// (0 = cold).  Part of the run identity `resume_session` matches on: a
+  /// warm session proposes different schedules than a cold one with the
+  /// same seed, so replaying across the boundary would attach logged times
+  /// to the wrong schedules.
+  std::uint64_t experience_fp = 0;
+
   bool operator==(const TuningRecord& o) const;
 };
 

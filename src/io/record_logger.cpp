@@ -20,6 +20,9 @@ TuningRecord make_tuning_record(const TaskScheduler& scheduler, int task,
   out.time_ms = rec.time_ms;
   out.trial_index = rec.trial_index;
   out.cached = rec.cached;
+  out.task_sig = scheduler.task(task).graph().structure_signature();
+  out.hw_sim = scheduler.hardware().similarity_vector();
+  out.experience_fp = scheduler.experience_fingerprint();
   return out;
 }
 
@@ -32,12 +35,26 @@ void RecordLogger::on_records(const TaskScheduler& scheduler, int task,
                               const std::vector<MeasuredRecord>& records) {
   if (!writer_.is_open()) return;
   bool wrote = false;
+  // The provenance block (network/task/hardware/policy/seed/signature/
+  // similarity vector/experience fingerprint) is constant across the batch;
+  // build it once and refill only the per-measurement fields.
+  TuningRecord base;
   for (const MeasuredRecord& rec : records) {
     if (skip_ > 0) {
       --skip_;
       continue;
     }
-    writer_.write(make_tuning_record(scheduler, task, rec));
+    if (!wrote) {
+      base = make_tuning_record(scheduler, task, rec);
+    } else {
+      base.sketch_id = rec.sched.sketch->sketch_id;
+      base.sketch_tag = rec.sched.sketch->tag;
+      base.stages = decisions_from_schedule(rec.sched);
+      base.time_ms = rec.time_ms;
+      base.trial_index = rec.trial_index;
+      base.cached = rec.cached;
+    }
+    writer_.write(base);
     wrote = true;
   }
   if (wrote) writer_.flush();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/tuning.hpp"
+#include "exp/transfer.hpp"
 #include "util/logging.hpp"
 
 namespace harl {
@@ -19,11 +20,16 @@ ResumeStats resume_session(TuningSession& session,
   const std::string policy = sched.options().effective_policy_name();
   const std::uint64_t seed = sched.options().seed;
   const std::uint64_t hw_fp = sched.hardware().fingerprint();
+  const std::uint64_t exp_fp = sched.experience_fingerprint();
 
   std::vector<double> replay;
   for (const TuningRecord& r : records) {
+    // The experience fingerprint is part of the identity: a pretrained
+    // prior changes which schedules the search proposes, so a cold log
+    // replayed into a warm session (or vice versa, or across different
+    // models) would attach logged times to the wrong schedules.
     if (r.network != net || r.hardware_fp != hw_fp || r.policy != policy ||
-        r.seed != seed) {
+        r.seed != seed || r.experience_fp != exp_fp) {
       ++stats.records_skipped;
       continue;
     }
@@ -55,45 +61,77 @@ ResumeStats resume_session(TuningSession& session, const std::string& log_path) 
 
 int apply_history_best(TuningSession& session,
                        const std::vector<TuningRecord>& records) {
-  TaskScheduler& sched = session.scheduler();
-  const std::uint64_t hw_fp = sched.hardware().fingerprint();
-  const int num_unroll = sched.hardware().num_unroll_options();
-
-  int applied = 0;
-  for (int i = 0; i < sched.num_tasks(); ++i) {
-    TaskState& task = sched.task(i);
-    const std::string& name = task.graph().name();
-    const TuningRecord* best = nullptr;
-    for (const TuningRecord& r : records) {
-      if (r.hardware_fp != hw_fp || r.task != name) continue;
-      if (best == nullptr || r.time_ms < best->time_ms) best = &r;
-    }
-    if (best == nullptr || !(best->time_ms < task.best_time_ms())) continue;
-
-    std::string error;
-    Schedule sched_best =
-        schedule_from_record(*best, task.sketches(), num_unroll, &error);
-    if (sched_best.sketch == nullptr) {
-      HARL_LOG_WARN("apply_history_best: dropping record for task %s: %s",
-                    name.c_str(), error.c_str());
-      continue;
-    }
-    // Commit as a cached measurement: updates best/curve/cost model without
-    // consuming a trial.  This counts as a task round, so the warmed task
-    // skips the scheduler's warmup pass — intended warm-start behavior.
-    MeasuredRecord rec;
-    rec.sched = std::move(sched_best);
-    rec.time_ms = best->time_ms;
-    rec.trial_index = best->trial_index;
-    rec.cached = true;
-    task.commit_measurements({rec});
-    ++applied;
-  }
-  return applied;
+  return transfer_history_best(session, records).applied;
 }
 
 int apply_history_best(TuningSession& session, const std::string& log_path) {
   return apply_history_best(session, read_records(log_path));
+}
+
+VerifyResumeReport verify_resume(const TuningSession& session,
+                                 const std::vector<TuningRecord>& records,
+                                 std::size_t max_checks) {
+  VerifyResumeReport report;
+  const TaskScheduler& sched = session.scheduler();
+  const std::string net = sched.network().name;
+  const std::string policy = sched.options().effective_policy_name();
+  const std::uint64_t seed = sched.options().seed;
+  const std::uint64_t hw_fp = sched.hardware().fingerprint();
+  const std::uint64_t exp_fp = sched.experience_fingerprint();
+  const int num_unroll = sched.hardware().num_unroll_options();
+
+  // `matched` counts every record of this run's identity; `eligible` is the
+  // checkable subset — real simulator measurements only, since a
+  // cache-replayed record carries the time of an *earlier* trial's noise
+  // draw and recomputing it at its snapshot index would flag a false
+  // divergence.
+  std::vector<const TuningRecord*> eligible;
+  for (const TuningRecord& r : records) {
+    if (r.network != net || r.hardware_fp != hw_fp || r.policy != policy ||
+        r.seed != seed || r.experience_fp != exp_fp) {
+      continue;
+    }
+    ++report.matched;
+    if (r.cached || r.trial_index < 0) continue;
+    eligible.push_back(&r);
+  }
+  if (eligible.empty() || max_checks == 0) return report;
+
+  // Deterministic sample: every stride-th record, spread over the whole log
+  // so early and late rounds are both covered.
+  std::size_t stride = (eligible.size() + max_checks - 1) / max_checks;
+  for (std::size_t i = 0; i < eligible.size(); i += stride) {
+    const TuningRecord& r = *eligible[i];
+    ++report.checked;
+
+    int task_index = -1;
+    for (int t = 0; t < sched.num_tasks(); ++t) {
+      if (sched.task(t).graph().name() == r.task) {
+        task_index = t;
+        break;
+      }
+    }
+    std::string error;
+    Schedule s;
+    if (task_index < 0) {
+      error = "no task named \"" + r.task + "\" in this session";
+    } else {
+      s = schedule_from_record(r, sched.task(task_index).sketches(), num_unroll,
+                               &error);
+    }
+    if (s.sketch == nullptr) {
+      report.mismatches.push_back(
+          {r.trial_index, r.task, r.time_ms,
+           std::numeric_limits<double>::quiet_NaN(), std::move(error)});
+      continue;
+    }
+    double recomputed = session.measurer().remeasure(s, r.trial_index);
+    if (recomputed != r.time_ms) {
+      report.mismatches.push_back(
+          {r.trial_index, r.task, r.time_ms, recomputed, ""});
+    }
+  }
+  return report;
 }
 
 }  // namespace harl

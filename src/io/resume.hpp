@@ -48,13 +48,57 @@ ResumeStats resume_session(TuningSession& session,
 
 /// Cross-run transfer: seed a *fresh* session with the best logged schedule
 /// of each task, Ansor's `apply_history_best`.  Unlike `resume_session` this
-/// does not replay the search: for every task whose (subgraph name, hardware
-/// fingerprint) matches a logged record — policy and seed may differ — the
-/// best such record is reconstructed and committed as a cached measurement,
-/// so `latency_ms()` is immediately finite and the search starts warm.
-/// Returns the number of tasks that received a best schedule.
+/// does not replay the search: the best matching record per task is
+/// reconstructed and committed as a cached measurement, so `latency_ms()`
+/// is immediately finite and the search starts warm.
+///
+/// Matching is the *scored* rule of `transfer_history_best`
+/// (exp/transfer.hpp): exact (subgraph name, hardware fingerprint) matches
+/// rank first and commit their logged time verbatim — the original
+/// behavior — and, when no exact match exists, a structurally similar
+/// record (same op kinds, close extents, similar hardware) is adapted to
+/// the task's extents and *seeded* into the search with a pessimistically
+/// scaled time estimate (best pool + cost model, no claimed best).  Pass a
+/// `TransferOptions` with `structural = false` to `transfer_history_best`
+/// directly for the strict exact rule.
+/// Returns the number of tasks that received a schedule.
 int apply_history_best(TuningSession& session,
                        const std::vector<TuningRecord>& records);
 int apply_history_best(TuningSession& session, const std::string& log_path);
+
+/// One divergence found by `verify_resume`: the logged time of a replayed
+/// trial no longer matches what the simulator produces for the same
+/// schedule and trial index (e.g. the simulator or hardware model changed
+/// since the log was written).
+struct VerifyResumeMismatch {
+  std::int64_t trial_index = -1;
+  std::string task;
+  double logged_ms = 0;
+  double recomputed_ms = 0;    ///< NaN when the schedule failed to rebuild
+  std::string error;           ///< non-empty for reconstruction failures
+};
+
+/// Outcome of `verify_resume`.
+struct VerifyResumeReport {
+  /// Records matching the session's run identity (cached ones included —
+  /// they are replayable even though only non-cached ones are checkable, so
+  /// `matched == 0` on a non-empty log means a foreign log, not bad luck).
+  std::size_t matched = 0;
+  std::size_t checked = 0;  ///< records actually re-simulated
+  std::vector<VerifyResumeMismatch> mismatches;
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Guard against silently forking a resumed run: re-simulate a
+/// deterministic sample of the log's replayable trials (every k-th matched
+/// record, k chosen so at most `max_checks` simulator calls are spent) and
+/// compare bit-for-bit against the logged times.  Both sides are
+/// deterministic functions of (schedule, seed, trial index), so any
+/// difference means the simulator, hardware model, or featured noise draw
+/// changed since the log was written — resuming would replay times the
+/// current code can no longer reproduce.  Consumes no tuning trials.
+VerifyResumeReport verify_resume(const TuningSession& session,
+                                 const std::vector<TuningRecord>& records,
+                                 std::size_t max_checks = 16);
 
 }  // namespace harl

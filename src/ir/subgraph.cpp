@@ -36,6 +36,15 @@ OpKind Subgraph::dominant_kind() const {
   return stages_.at(static_cast<std::size_t>(anchor_)).op.kind;
 }
 
+std::string Subgraph::structure_signature() const {
+  std::string sig;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    if (s > 0) sig += '|';
+    sig += op_kind_name(stages_[s].op.kind);
+  }
+  return sig;
+}
+
 std::string Subgraph::validate() const {
   std::ostringstream err;
   if (stages_.empty()) err << "subgraph '" << name_ << "' has no stages; ";

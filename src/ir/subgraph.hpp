@@ -53,6 +53,13 @@ class Subgraph {
   /// The operator kind of the anchor stage; used for "similar task" grouping.
   OpKind dominant_kind() const;
 
+  /// Compact structural signature: the per-stage op kinds joined with "|"
+  /// (e.g. "gemm|elementwise").  Extent-free by design — two tasks with the
+  /// same signature differ only in sizes, which is exactly the "sibling
+  /// task" relation experience transfer scores by extent ratio.  Stamped
+  /// into tuning records (field `sig`).
+  std::string structure_signature() const;
+
   /// Empty string when the DAG is consistent (topological producer order,
   /// wiring lengths match, ops validate); else a diagnostic message.
   std::string validate() const;

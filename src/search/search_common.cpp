@@ -46,6 +46,21 @@ void TaskState::commit_measurements(const std::vector<MeasuredRecord>& records) 
   if (best_pool_.size() > kBestPoolSize) best_pool_.resize(kBestPoolSize);
 }
 
+void TaskState::seed_estimate(const Schedule& sched, double est_time_ms) {
+  cost_model_.update({sched}, {est_time_ms});
+  MeasuredRecord rec;
+  rec.sched = sched;
+  rec.time_ms = est_time_ms;
+  rec.trial_index = 0;
+  rec.cached = true;
+  best_pool_.push_back(std::move(rec));
+  std::sort(best_pool_.begin(), best_pool_.end(),
+            [](const MeasuredRecord& a, const MeasuredRecord& b) {
+              return a.time_ms < b.time_ms;
+            });
+  if (best_pool_.size() > kBestPoolSize) best_pool_.resize(kBestPoolSize);
+}
+
 std::vector<Schedule> select_top_k(const TaskState& task,
                                    std::vector<ScoredCandidate> candidates, int k,
                                    double epsilon_random, Rng& rng) {

@@ -77,6 +77,16 @@ class TaskState {
   /// retrain the cost model, account trials.
   void commit_measurements(const std::vector<MeasuredRecord>& records);
 
+  /// Seed the search with a schedule whose time is an *estimate* (structural
+  /// experience transfer): the schedule joins the best pool — so population
+  /// and chain policies start from it — and the cost model's training set,
+  /// but it does NOT claim the task best, is NOT marked measured (the search
+  /// may re-measure it for a real time; `already_measured` stays false), and
+  /// consumes no trial or round.  Committing an estimate as a measurement
+  /// would let a too-optimistic guess stand as a phantom best the session
+  /// reports as real.
+  void seed_estimate(const Schedule& sched, double est_time_ms);
+
   /// The best measured schedules so far (ascending time), capped at
   /// kBestPoolSize.  Seeds Ansor's evolutionary population and the SA chain.
   const std::vector<MeasuredRecord>& best_pool() const { return best_pool_; }

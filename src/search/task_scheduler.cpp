@@ -6,7 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "cost/gbdt_io.hpp"
 #include "search/policy_registry.hpp"
+#include "search/task_select.hpp"
 #include "util/logging.hpp"
 
 namespace harl {
@@ -45,6 +47,11 @@ std::optional<PolicyKind> policy_kind_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+std::string SearchOptions::effective_task_select_name() const {
+  return task_select_name.empty() ? task_select_kind_name(effective_task_select())
+                                  : task_select_name;
+}
+
 std::unique_ptr<SearchPolicy> make_policy(PolicyKind kind, TaskState* task,
                                           const SearchOptions& opts) {
   return make_policy(std::string(policy_kind_name(kind)), task, opts);
@@ -70,11 +77,31 @@ std::unique_ptr<SearchPolicy> make_policy(const std::string& name, TaskState* ta
 
 TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
                              SearchOptions opts)
-    : net_(net),
-      hw_(hw),
-      opts_(opts),
-      task_mab_(std::max<int>(1, static_cast<int>(net->subgraphs.size())),
-                opts.task_ucb) {
+    : net_(net), hw_(hw), opts_(opts) {
+  selector_ = make_task_selector(opts_.effective_task_select_name(),
+                                 static_cast<int>(net->subgraphs.size()), opts_);
+  // Load the pretrained experience model once and share it read-only across
+  // every task's cost model (Gbdt::predict is const and stateless).
+  if (opts_.cost_model.pretrained == nullptr && !opts_.experience_model.empty()) {
+    auto model = std::make_shared<Gbdt>();
+    std::string error;
+    if (!load_gbdt(opts_.experience_model, model.get(), &error)) {
+      HARL_LOG_WARN("experience model ignored: %s", error.c_str());
+    } else if (model->num_features() != FeatureExtractor::kNumFeatures) {
+      HARL_LOG_WARN(
+          "experience model %s has %d features (extractor has %d); ignored",
+          opts_.experience_model.c_str(), model->num_features(),
+          FeatureExtractor::kNumFeatures);
+    } else {
+      opts_.cost_model.pretrained = std::move(model);
+    }
+  }
+  if (opts_.cost_model.pretrained != nullptr &&
+      opts_.cost_model.pretrained->trained()) {
+    experience_fp_ = opts_.cost_model.pretrained_fingerprint != 0
+                         ? opts_.cost_model.pretrained_fingerprint
+                         : gbdt_fingerprint(*opts_.cost_model.pretrained);
+  }
   for (std::size_t n = 0; n < net_->subgraphs.size(); ++n) {
     tasks_.push_back(
         std::make_unique<TaskState>(&net_->subgraphs[n], hw_, opts_.cost_model));
@@ -85,6 +112,8 @@ TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
         make_policy(opts_.effective_policy_name(), tasks_.back().get(), per_task));
   }
 }
+
+TaskScheduler::~TaskScheduler() = default;
 
 double TaskScheduler::estimated_latency_ms() const {
   double total = 0;
@@ -142,25 +171,7 @@ int TaskScheduler::select_task() {
   for (std::size_t n = 0; n < tasks_.size(); ++n) {
     if (tasks_[n]->rounds() == 0) return static_cast<int>(n);
   }
-  switch (opts_.effective_task_select()) {
-    case TaskSelectKind::kGreedyGradient: {
-      int best = 0;
-      double best_grad = std::numeric_limits<double>::infinity();
-      for (int n = 0; n < num_tasks(); ++n) {
-        double grad = task_gradient(n);
-        if (grad < best_grad) {
-          best_grad = grad;
-          best = n;
-        }
-      }
-      return best;
-    }
-    case TaskSelectKind::kSwUcbMab:
-      return task_mab_.select();
-    case TaskSelectKind::kRoundRobin:
-      return round_robin_next_++ % num_tasks();
-  }
-  return 0;
+  return selector_->select(*this);
 }
 
 TaskScheduler::RoundResult TaskScheduler::run_round(Measurer& measurer) {
@@ -191,19 +202,7 @@ TaskScheduler::RoundResult TaskScheduler::run_round(Measurer& measurer) {
     }
   }
 
-  if (opts_.effective_task_select() == TaskSelectKind::kSwUcbMab) {
-    // MAB reward: the negated Eq. 3 gradient, normalized by the current
-    // objective so rewards are dimensionless per-round improvements.
-    double f = estimated_latency_ms();
-    double reward = 0;
-    if (std::isfinite(f) && f > 0) {
-      double grad = task_gradient(out.task);
-      if (std::isfinite(grad)) {
-        reward = -grad * opts_.measures_per_round / f;
-      }
-    }
-    task_mab_.update(out.task, reward);
-  }
+  selector_->on_round(*this, out.task);
 
   out.net_latency_ms = estimated_latency_ms();
   round_log_.push_back(

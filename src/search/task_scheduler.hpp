@@ -40,11 +40,17 @@ const char* policy_kind_name(PolicyKind kind);
 std::optional<PolicyKind> policy_kind_from_name(const std::string& name);
 
 /// How the tuner distributes trials across subgraphs (Table 1 column 1).
+/// Like `PolicyKind`, this enum survives as a thin shim over the open
+/// `TaskSelectRegistry` (see task_select.hpp): each kind maps to a
+/// registered factory keyed by `task_select_kind_name`, and custom rules
+/// plug in by name via `SearchOptions::task_select_name`.
 enum class TaskSelectKind {
   kGreedyGradient,  ///< Ansor: argmin of the Eq. 3 gradient (deterministic)
   kSwUcbMab,        ///< HARL: non-stationary MAB with reward -gradient
   kRoundRobin,
 };
+
+class TaskSelector;
 
 /// Everything configurable about a tuning run.  Defaults reproduce the
 /// paper's Table 5 settings scaled by the caller (benchmarks pass smaller
@@ -58,6 +64,11 @@ struct SearchOptions {
   /// as the built-ins.
   std::string policy_name;
   std::optional<TaskSelectKind> task_select;  ///< default derived from policy
+  /// Registry name of the task-selection rule.  When non-empty it overrides
+  /// `task_select` and is resolved through `TaskSelectRegistry::create`, so
+  /// budget allocators registered outside the library drive the same
+  /// scheduler loop as the built-ins.
+  std::string task_select_name;
 
   HarlConfig harl;
   AnsorConfig ansor;
@@ -68,8 +79,16 @@ struct SearchOptions {
 
   /// Per-task learned cost model: GBDT shape/split-mode knobs plus the
   /// refit policy (`refit_period`/`warm_trees` enable warm-start boosting
-  /// between full refits).
+  /// between full refits) and the optional pretrained experience prior.
   CostModelConfig cost_model;
+
+  /// Path to a pretrained experience model file (`harl_harvest harvest`,
+  /// cost/gbdt_io.hpp).  Loaded once per scheduler into
+  /// `cost_model.pretrained` (which, when already set, takes precedence) and
+  /// shared read-only by every task, so each new session starts from the
+  /// fleet's accumulated measurements instead of a cold model.  An
+  /// unreadable or wrong-width file logs a warning and falls back to cold.
+  std::string experience_model;
 
   // Eq. 3 gradient parameters (Table 5).
   double gradient_alpha = 0.2;
@@ -104,6 +123,11 @@ struct SearchOptions {
       default: return TaskSelectKind::kRoundRobin;
     }
   }
+
+  /// The registry key the scheduler resolves its task-selection rule with —
+  /// `task_select_name` when set, else the built-in name of
+  /// `effective_task_select()`.
+  std::string effective_task_select_name() const;
 };
 
 /// Instantiate the per-subgraph policy of `kind` for a task.  Thin shim over
@@ -128,6 +152,7 @@ std::unique_ptr<SearchPolicy> make_policy(const std::string& name, TaskState* ta
 class TaskScheduler {
  public:
   TaskScheduler(const Network* net, const HardwareConfig* hw, SearchOptions opts);
+  ~TaskScheduler();  // out of line: TaskSelector is incomplete here
 
   /// Outcome of one pipeline round (select -> tune -> reward -> log).
   struct RoundResult {
@@ -184,6 +209,17 @@ class TaskScheduler {
   /// improvement of the weighted objective).  Exposed for tests and reports.
   double task_gradient(int i) const;
 
+  /// The task-selection rule driving this scheduler (resolved from
+  /// `SearchOptions::effective_task_select_name()` at construction).
+  const TaskSelector& selector() const { return *selector_; }
+
+  /// Fingerprint of the pretrained experience model this run starts from
+  /// (hash of its serialized form; 0 = cold start).  Stamped into tuning
+  /// records as part of the run identity: a warm run's schedule stream
+  /// differs from a cold run's with the same seed, so resume must never
+  /// replay across that boundary.
+  std::uint64_t experience_fingerprint() const { return experience_fp_; }
+
  private:
   int select_task();
 
@@ -192,8 +228,8 @@ class TaskScheduler {
   SearchOptions opts_;
   std::vector<std::unique_ptr<TaskState>> tasks_;
   std::vector<std::unique_ptr<SearchPolicy>> policies_;
-  SwUcb task_mab_;
-  int round_robin_next_ = 0;
+  std::unique_ptr<TaskSelector> selector_;
+  std::uint64_t experience_fp_ = 0;
   std::vector<RoundLog> round_log_;
   std::int64_t run_start_trials_ = -1;  ///< trials_used() at the start of run()
   CallbackBus callbacks_;

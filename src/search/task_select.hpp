@@ -1,0 +1,110 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace harl {
+
+class TaskScheduler;
+struct SearchOptions;
+enum class TaskSelectKind;
+
+/// How a tuner distributes measurement trials across subgraphs — the first
+/// level of HARL's hierarchy, pulled out of the scheduler's closed
+/// `TaskSelectKind` switch into an open interface (the same treatment
+/// `SearchPolicy` got with `PolicyRegistry`).
+///
+/// The scheduler handles warmup itself (every task gets one round before any
+/// selector runs), then calls `select` once per round and `on_round` after
+/// the round's measurements and records are committed, so stateful rules
+/// (bandits, budget allocators) can observe rewards.
+class TaskSelector {
+ public:
+  virtual ~TaskSelector() = default;
+  virtual const char* name() const = 0;
+
+  /// Pick the task for the next round.  Must return a value in
+  /// [0, sched.num_tasks()).
+  virtual int select(const TaskScheduler& sched) = 0;
+
+  /// Observe the completed round for `task` (called after commit, before the
+  /// round is logged).  Default: stateless rules ignore it.
+  virtual void on_round(const TaskScheduler& sched, int task) {
+    (void)sched;
+    (void)task;
+  }
+};
+
+/// String-keyed factory registry of task-selection rules.  Built-ins
+/// ("greedy-gradient", "sw-ucb", "round-robin") register themselves on first
+/// use; external schedulers plug in custom budget allocators without
+/// touching library sources:
+///
+///   TaskSelectRegistry::instance().register_selector(
+///       "my-allocator", [](int num_tasks, const SearchOptions& opts) {
+///         return std::make_unique<MyAllocator>(num_tasks, opts.seed);
+///       });
+///   SearchOptions opts = quick_options(PolicyKind::kHarl);
+///   opts.task_select_name = "my-allocator";   // overrides the enum
+///
+/// Lookup is case-insensitive so names round-trip through command-line
+/// flags.  All methods are thread-safe (`FleetTuner` builds schedulers from
+/// several fleet threads at once).
+class TaskSelectRegistry {
+ public:
+  /// Factory contract: build a selector for a scheduler with `num_tasks`
+  /// tasks.  `opts` carries the whole option set (UCB parameters, seeds...).
+  using Factory = std::function<std::unique_ptr<TaskSelector>(
+      int num_tasks, const SearchOptions& opts)>;
+
+  /// The process-wide registry, with built-ins registered.
+  static TaskSelectRegistry& instance();
+
+  /// Registers `factory` under `name`.  Returns false (and keeps the
+  /// existing entry) when the name — case-insensitively — is already taken.
+  bool register_selector(const std::string& name, Factory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Instantiates the selector registered under `name` (case-insensitive).
+  /// Returns nullptr for unknown names.
+  std::unique_ptr<TaskSelector> create(const std::string& name, int num_tasks,
+                                       const SearchOptions& opts) const;
+
+  /// Registered names in their canonical (registration) spelling, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  TaskSelectRegistry() = default;
+
+  struct Entry {
+    std::string canonical_name;
+    Factory factory;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;  ///< keyed lowercase
+};
+
+/// Registry name of a built-in selection kind ("greedy-gradient", "sw-ucb",
+/// "round-robin").
+const char* task_select_kind_name(TaskSelectKind kind);
+
+/// Inverse of `task_select_kind_name`, case-insensitive.  std::nullopt for
+/// names that are not built-in kinds (they may still be registered
+/// selectors — check `TaskSelectRegistry`).
+std::optional<TaskSelectKind> task_select_kind_from_name(const std::string& name);
+
+/// Instantiate a selector by registry name.  Throws std::invalid_argument
+/// listing the registered names when `name` is unknown (a bad name is user
+/// input, like a bad policy name).
+std::unique_ptr<TaskSelector> make_task_selector(const std::string& name,
+                                                 int num_tasks,
+                                                 const SearchOptions& opts);
+
+}  // namespace harl

@@ -67,6 +67,18 @@ class Rng {
     }
   }
 
+  /// Serialization support (cost-model save/load): the raw generator words.
+  /// `restore_state` resets the Box-Muller cache, so a restored generator
+  /// reproduces the stream of a freshly-seeded one from the same words.
+  std::uint64_t serial_state() const { return state_; }
+  std::uint64_t serial_inc() const { return inc_; }
+  void restore_state(std::uint64_t state, std::uint64_t inc) {
+    state_ = state;
+    inc_ = inc;
+    has_cached_normal_ = false;
+    cached_normal_ = 0.0;
+  }
+
   // UniformRandomBitGenerator interface for <algorithm> interop.
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return 0xffffffffu; }

@@ -11,6 +11,7 @@
 #include "core/fleet.hpp"
 #include "core/presets.hpp"
 #include "core/tuning.hpp"
+#include "exp/transfer.hpp"
 #include "io/record_logger.hpp"
 #include "io/resume.hpp"
 #include "workloads/operators.hpp"
@@ -370,11 +371,47 @@ TEST(ApplyHistoryBestTest, SeedsFreshSessionAcrossPolicies) {
     EXPECT_TRUE(fresh.scheduler().task(i).has_best());
   }
 
-  // Wrong hardware: nothing applies.
+  // Different hardware: no exact match exists, but the log carries hardware
+  // similarity vectors, so the scored matcher adapts the schedules and
+  // *seeds* each task's search with them (best pool + cost model).  The
+  // estimates never claim a task best — only real measurements set
+  // latency_ms (see exp/transfer.hpp).
   HardwareConfig other_hw = noisy_hw();
   other_hw.num_cores = 8;
-  TuningSession wrong(net, other_hw, tiny_options(PolicyKind::kHarl, 99));
-  EXPECT_EQ(apply_history_best(wrong, log.path), 0);
+  std::vector<TuningRecord> records = read_records(log.path);
+  {
+    TuningSession sibling(net, other_hw, tiny_options(PolicyKind::kHarl, 99));
+    TransferStats stats = transfer_history_best(sibling, records);
+    EXPECT_EQ(stats.exact, 0);
+    EXPECT_EQ(stats.transferred, sibling.scheduler().num_tasks());
+    EXPECT_TRUE(std::isinf(sibling.latency_ms()));
+    EXPECT_EQ(sibling.measurer().trials_used(), 0);
+    for (int i = 0; i < sibling.scheduler().num_tasks(); ++i) {
+      const TaskState& task = sibling.scheduler().task(i);
+      EXPECT_FALSE(task.has_best());
+      ASSERT_FALSE(task.best_pool().empty());
+      // The seed stays re-measurable: a real trial may correct its estimate.
+      EXPECT_FALSE(task.already_measured(task.best_pool().front().sched));
+    }
+  }
+
+  // With structural transfer off, the strict exact rule is back: nothing
+  // applies on foreign hardware.
+  {
+    TuningSession strict(net, other_hw, tiny_options(PolicyKind::kHarl, 99));
+    TransferOptions exact_only;
+    exact_only.structural = false;
+    EXPECT_EQ(transfer_history_best(strict, records, exact_only).applied, 0);
+  }
+
+  // Records without a similarity vector (pre-transfer logs) cannot cross
+  // hardware either.
+  {
+    std::vector<TuningRecord> legacy = records;
+    for (TuningRecord& r : legacy) r.hw_sim.clear();
+    TuningSession old_log(net, other_hw, tiny_options(PolicyKind::kHarl, 99));
+    EXPECT_EQ(transfer_history_best(old_log, legacy).applied, 0);
+  }
 }
 
 // ------------------------------------------------------------- fleet

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/tuning.hpp"
+#include "search/task_select.hpp"
+#include "search/task_scheduler.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+Network small_network() {
+  Network net;
+  net.name = "select_net";
+  net.subgraphs.push_back(make_gemm(64, 64, 64, 1, "sg_a", 2.0));
+  net.subgraphs.push_back(make_gemm(32, 32, 32, 1, "sg_b", 1.0));
+  net.subgraphs.push_back(make_elementwise(1 << 12, 2.0, "sg_ew", 1.0));
+  return net;
+}
+
+SearchOptions small_options(PolicyKind kind, std::uint64_t seed = 7) {
+  SearchOptions opts = quick_options(kind, seed);
+  opts.harl.stop.initial_tracks = 8;
+  opts.harl.stop.min_tracks = 2;
+  opts.harl.stop.window = 4;
+  opts.harl.ppo.minibatch_size = 16;
+  opts.harl.ppo.update_epochs = 1;
+  opts.ansor.population = 16;
+  opts.ansor.generations = 2;
+  opts.measures_per_round = 5;
+  return opts;
+}
+
+TEST(TaskSelectKindRoundTrip, NameToKindInvertsKindToName) {
+  for (TaskSelectKind kind :
+       {TaskSelectKind::kGreedyGradient, TaskSelectKind::kSwUcbMab,
+        TaskSelectKind::kRoundRobin}) {
+    auto back = task_select_kind_from_name(task_select_kind_name(kind));
+    ASSERT_TRUE(back.has_value()) << task_select_kind_name(kind);
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_EQ(task_select_kind_from_name("SW-UCB"), TaskSelectKind::kSwUcbMab);
+  EXPECT_FALSE(task_select_kind_from_name("no-such-rule").has_value());
+  EXPECT_FALSE(task_select_kind_from_name("").has_value());
+}
+
+TEST(TaskSelectRegistryTest, BuiltinsRegistered) {
+  TaskSelectRegistry& reg = TaskSelectRegistry::instance();
+  EXPECT_TRUE(reg.contains("greedy-gradient"));
+  EXPECT_TRUE(reg.contains("sw-ucb"));
+  EXPECT_TRUE(reg.contains("round-robin"));
+  EXPECT_TRUE(reg.contains("Round-Robin"));  // case-insensitive
+  EXPECT_FALSE(reg.contains("no-such-rule"));
+  EXPECT_GE(reg.names().size(), 3u);
+}
+
+TEST(TaskSelectRegistryTest, DuplicateRegistrationRejected) {
+  TaskSelectRegistry& reg = TaskSelectRegistry::instance();
+  EXPECT_FALSE(reg.register_selector("sw-ucb", [](int, const SearchOptions&) {
+    return std::unique_ptr<TaskSelector>();
+  }));
+  EXPECT_FALSE(reg.register_selector("SW-UCB", [](int, const SearchOptions&) {
+    return std::unique_ptr<TaskSelector>();
+  }));
+  EXPECT_FALSE(reg.register_selector("", nullptr));
+}
+
+TEST(TaskSelectRegistryTest, UnknownNameThrowsWithRegisteredList) {
+  Network net = small_network();
+  HardwareConfig hw = HardwareConfig::test_config();
+  SearchOptions opts = small_options(PolicyKind::kRandom);
+  opts.task_select_name = "no-such-rule";
+  try {
+    TuningSession session(net, hw, opts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no-such-rule"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sw-ucb"), std::string::npos);
+  }
+}
+
+TEST(TaskSelectRegistryTest, EffectiveNameResolution) {
+  SearchOptions opts = small_options(PolicyKind::kHarl);
+  EXPECT_EQ(opts.effective_task_select_name(), "sw-ucb");
+  opts.policy = PolicyKind::kAnsor;
+  EXPECT_EQ(opts.effective_task_select_name(), "greedy-gradient");
+  opts.task_select = TaskSelectKind::kRoundRobin;
+  EXPECT_EQ(opts.effective_task_select_name(), "round-robin");
+  opts.task_select_name = "sw-ucb";  // name overrides the enum
+  EXPECT_EQ(opts.effective_task_select_name(), "sw-ucb");
+}
+
+/// The enum path and the name path must drive bit-identical runs (the shim
+/// contract): same rounds, same task choices, same latencies.
+TEST(TaskSelectRegistryTest, NameAndEnumRunsBitIdentical) {
+  Network net = small_network();
+  HardwareConfig hw = HardwareConfig::test_config();
+
+  SearchOptions by_enum = small_options(PolicyKind::kHarl, 11);
+  by_enum.task_select = TaskSelectKind::kSwUcbMab;
+  TuningSession a(net, hw, by_enum);
+  a.run(60);
+
+  SearchOptions by_name = small_options(PolicyKind::kHarl, 11);
+  by_name.task_select_name = "SW-UCB";
+  TuningSession b(net, hw, by_name);
+  b.run(60);
+
+  const auto& log_a = a.scheduler().round_log();
+  const auto& log_b = b.scheduler().round_log();
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_EQ(log_a[i].task, log_b[i].task) << "round " << i;
+    EXPECT_EQ(log_a[i].trials_after, log_b[i].trials_after) << "round " << i;
+    EXPECT_EQ(log_a[i].net_latency_ms, log_b[i].net_latency_ms) << "round " << i;
+  }
+}
+
+// ---- the acceptance criterion: a selection rule registered from test code
+// (outside src/search/) drives TaskScheduler without touching any library
+// source. ------------------------------------------------------------------
+
+/// Always picks the task with the fewest trials so far ("fair-share").
+class FairShareSelector : public TaskSelector {
+ public:
+  const char* name() const override { return "fair-share"; }
+  int select(const TaskScheduler& sched) override {
+    ++selects;
+    int best = 0;
+    for (int n = 1; n < sched.num_tasks(); ++n) {
+      if (sched.task(n).trials_spent() < sched.task(best).trials_spent()) {
+        best = n;
+      }
+    }
+    return best;
+  }
+  void on_round(const TaskScheduler&, int) override { ++rounds_seen; }
+
+  int selects = 0;
+  int rounds_seen = 0;
+};
+
+TEST(TaskSelectRegistryTest, ExternalSelectorRunsEndToEnd) {
+  static FairShareSelector* live = nullptr;
+  bool registered = TaskSelectRegistry::instance().register_selector(
+      "fair-share-test", [](int, const SearchOptions&) {
+        auto sel = std::make_unique<FairShareSelector>();
+        live = sel.get();
+        return sel;
+      });
+  // First test run registers; later gtest repeats hit the duplicate guard.
+  (void)registered;
+
+  Network net = small_network();
+  HardwareConfig hw = HardwareConfig::test_config();
+  SearchOptions opts = small_options(PolicyKind::kRandom, 17);
+  opts.task_select_name = "fair-share-test";
+  TuningSession session(net, hw, opts);
+  session.run(60);
+
+  ASSERT_NE(live, nullptr);
+  // Warmup rounds bypass the selector; everything after goes through it, and
+  // on_round fires for every round including warmup.
+  EXPECT_GT(live->selects, 0);
+  EXPECT_GE(live->rounds_seen, live->selects + session.scheduler().num_tasks());
+  // Fair-share keeps allocations within one round of each other.
+  auto alloc = session.scheduler().task_allocations();
+  std::int64_t lo = alloc[0], hi = alloc[0];
+  for (std::int64_t t : alloc) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_LE(hi - lo, 2 * opts.measures_per_round);
+}
+
+}  // namespace
+}  // namespace harl
