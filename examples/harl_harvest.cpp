@@ -6,7 +6,7 @@
 ///                LOG... [--dir=DIR]
 ///       Fold the logs into one training set (deterministic: same records in
 ///       any order produce the same model bytes) and pre-train a GBDT that
-///       `tune_network --model=` / `SearchOptions::experience_model` /
+///       tune_network's model flag / `SearchOptions::experience_model` /
 ///       `FleetTuner::Options::experience_model` start warm from.
 ///
 ///   harl_harvest compact --out=PATH [--best-k=N] [--window=N] LOG...
@@ -18,7 +18,7 @@
 ///       Per-(network, task, policy, seed) record counts and best times.
 ///
 /// `--dir=DIR` adds every `*.jsonl` file in DIR (sorted) to the input list —
-/// handy on a `FleetTuner::Options::log_dir`.
+/// handy on a `FleetTuner::Options::log_dir`.  `--help` prints usage.
 
 #include <dirent.h>
 
@@ -69,6 +69,7 @@ struct CommonArgs {
   GbdtConfig gbdt;
   CompactOptions compact;
   bool parsed_ok = true;
+  bool help = false;
 };
 
 CommonArgs parse_args(int argc, char** argv, int first) {
@@ -93,6 +94,8 @@ CommonArgs parse_args(int argc, char** argv, int first) {
       args.compact.window = std::atoi(v);
     } else if (flag_value(argv[i], "--dir", &v)) {
       for (std::string& f : jsonl_files(v)) args.logs.push_back(std::move(f));
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      args.help = true;
     } else if (argv[i][0] != '-') {
       args.logs.push_back(argv[i]);
     } else {
@@ -223,25 +226,34 @@ int cmd_stats(const CommonArgs& args) {
   return 0;
 }
 
-void usage() {
+void usage(std::FILE* out) {
   std::fprintf(
-      stderr,
+      out,
       "usage: harl_harvest <harvest|compact|stats> [flags] LOG... [--dir=DIR]\n"
       "  harvest --out=model.json [--hw=xeon|rtx3090|test] [--trees=N]\n"
       "          [--depth=N] [--histogram] [--seed=N]\n"
       "  compact --out=PATH [--best-k=N] [--window=N]\n"
-      "  stats\n");
+      "  stats\n"
+      "  --dir=DIR adds every *.jsonl under DIR; --help prints usage\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 2;
+  }
+  if (std::strcmp(argv[1], "--help") == 0) {
+    usage(stdout);
+    return 0;
   }
   CommonArgs args = parse_args(argc, argv, 2);
   if (!args.parsed_ok) return 2;
+  if (args.help) {
+    usage(stdout);
+    return 0;
+  }
   if (args.logs.empty()) {
     std::fprintf(stderr, "no input logs\n");
     return 2;
@@ -250,6 +262,6 @@ int main(int argc, char** argv) {
   if (cmd == "harvest") return cmd_harvest(args);
   if (cmd == "compact") return cmd_compact(args);
   if (cmd == "stats") return cmd_stats(args);
-  usage();
+  usage(stderr);
   return 2;
 }

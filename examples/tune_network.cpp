@@ -14,8 +14,17 @@
 ///       [--verify-resume]       re-simulate a sample of replayed trials and
 ///                               fail (exit 4) if the log diverges from the
 ///                               current simulator instead of silently forking
+///       [--async-callbacks]     run callbacks (logger, refresher) on an
+///                               AsyncCallbackBus dispatcher thread instead of
+///                               the tuning thread; output stays bit-identical
+///       [--refresh-period=N]    in-run experience refresh: fold finished
+///                               rounds into an ExperienceStore and refit +
+///                               republish the model every N rounds
+///       [--refresh-out=PATH]    refreshed-model publish target (default:
+///                               <log>.model.json, else refresh.model.json)
 ///       [--stop-after-rounds=N] simulate a crash: _Exit(3) after N rounds
 ///       [--dump-rounds=PATH]    bit-exact round log (hexfloat) for diffing
+///       [--help]                print this usage and exit
 ///
 /// Crash-resume walkthrough (the CI determinism gate):
 ///   ./build/tune_network --policy=HARL --log=run.jsonl --stop-after-rounds=6
@@ -33,6 +42,23 @@
 namespace {
 
 using namespace harl;
+
+void print_usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: tune_network [trials]\n"
+      "  [--trials=N] [--network=bert|resnet50|mobilenet_v2] [--seed=N]\n"
+      "  [--policy=NAME]         tune one registered policy (durable mode)\n"
+      "  [--log=PATH]            append records; resume when the log exists\n"
+      "  [--model=PATH]          pretrained experience model (harl_harvest)\n"
+      "  [--verify-resume]       re-simulate replayed trials; exit 4 on drift\n"
+      "  [--async-callbacks]     callbacks on a dispatcher thread (bit-identical)\n"
+      "  [--refresh-period=N]    refit + republish experience model every N rounds\n"
+      "  [--refresh-out=PATH]    refreshed-model publish target\n"
+      "  [--stop-after-rounds=N] simulate a crash: _Exit(3) after N rounds\n"
+      "  [--dump-rounds=PATH]    bit-exact round log (hexfloat) for diffing\n"
+      "  [--help]                print this usage and exit\n");
+}
 
 /// Matches "--name=value" and returns the value part.
 bool flag_value(const char* arg, const char* name, const char** value) {
@@ -92,7 +118,10 @@ int main(int argc, char** argv) {
   std::string log_path;
   std::string dump_path;
   std::string model_path;
+  std::string refresh_out;
   bool verify_resume_flag = false;
+  bool async_callbacks = false;
+  int refresh_period = 0;
   int stop_after_rounds = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +140,15 @@ int main(int argc, char** argv) {
       model_path = v;
     } else if (std::strcmp(argv[i], "--verify-resume") == 0) {
       verify_resume_flag = true;
+    } else if (std::strcmp(argv[i], "--async-callbacks") == 0) {
+      async_callbacks = true;
+    } else if (flag_value(argv[i], "--refresh-period", &v)) {
+      refresh_period = std::atoi(v);
+    } else if (flag_value(argv[i], "--refresh-out", &v)) {
+      refresh_out = v;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(stdout);
+      return 0;
     } else if (flag_value(argv[i], "--dump-rounds", &v)) {
       dump_path = v;
     } else if (flag_value(argv[i], "--stop-after-rounds", &v)) {
@@ -119,6 +157,7 @@ int main(int argc, char** argv) {
       trials = std::atoll(argv[i]);  // legacy positional [trials]
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      print_usage(stderr);
       return 1;
     }
   }
@@ -146,6 +185,41 @@ int main(int argc, char** argv) {
     opts.policy_name = policy_name;
     if (auto kind = policy_kind_from_name(policy_name)) opts.policy = *kind;
     opts.experience_model = model_path;
+    opts.async_callbacks.enabled = async_callbacks;
+
+    std::unique_ptr<ExperienceRefresher> refresher;
+    if (refresh_period > 0) {
+      RefreshOptions ropts;
+      ropts.period_rounds = refresh_period;
+      ropts.publish_path = !refresh_out.empty() ? refresh_out
+                           : !log_path.empty() ? log_path + ".model.json"
+                                               : "refresh.model.json";
+      refresher = std::make_unique<ExperienceRefresher>(cpu, ropts);
+      if (!model_path.empty()) {
+        // Load once, share between the session (its fixed prior) and the
+        // refresher (the base the refreshed model continues from).  Same
+        // validation as the experience_model path: a wrong feature width
+        // would index past the end of every extracted row.
+        auto base = std::make_shared<Gbdt>();
+        std::string error;
+        if (!load_gbdt(model_path, base.get(), &error)) {
+          std::fprintf(stderr, "cannot load --model %s: %s\n",
+                       model_path.c_str(), error.c_str());
+          return 1;
+        }
+        if (base->num_features() != FeatureExtractor::kNumFeatures) {
+          std::fprintf(stderr,
+                       "--model %s has %d features (extractor has %d); "
+                       "ignored, starting cold\n",
+                       model_path.c_str(), base->num_features(),
+                       FeatureExtractor::kNumFeatures);
+        } else {
+          opts.experience_model.clear();
+          opts.cost_model.pretrained = base;
+          refresher->set_base_model(std::move(base));
+        }
+      }
+    }
 
     TuningSession session(net, cpu, opts);
     RecordLogger logger;
@@ -209,6 +283,7 @@ int main(int argc, char** argv) {
                      e.message.c_str());
       }
     }
+    if (refresher != nullptr) session.add_callback(refresher.get());
     if (stop_after_rounds > 0) session.add_callback(&crasher);
 
     std::printf("Tuning %s with policy %s, %lld trials (seed %llu)...\n\n",
@@ -225,6 +300,32 @@ int main(int argc, char** argv) {
     if (!log_path.empty()) {
       std::printf("record log: %s (+%zu records this run)\n", log_path.c_str(),
                   logger.written());
+    }
+    if (const AsyncCallbackBus* bus = session.scheduler().async_bus()) {
+      std::printf("async callbacks: %llu events dispatched (%llu dropped, "
+                  "%llu rejected, %llu consumer errors)\n",
+                  static_cast<unsigned long long>(bus->delivered()),
+                  static_cast<unsigned long long>(bus->dropped()),
+                  static_cast<unsigned long long>(bus->rejected()),
+                  static_cast<unsigned long long>(bus->consumer_errors()));
+    }
+    if (refresher != nullptr) {
+      // Fold the tail in: the final publish covers the whole run, so the
+      // next invocation (or a sibling) starts from everything measured here.
+      refresher->refresh_now();
+      bool published =
+          refresher->refreshes() > 0 && refresher->publish_errors() == 0;
+      std::printf("experience refresh: %zu refits over %zu records; "
+                  "model %s (fingerprint %llu)\n",
+                  refresher->refreshes(), refresher->records_folded(),
+                  published ? "published" : "not published",
+                  static_cast<unsigned long long>(
+                      refresher->current_fingerprint()));
+      if (refresher->publish_errors() > 0) {
+        std::fprintf(stderr, "experience refresh: %zu publish failure(s); "
+                     "the published file is missing or stale\n",
+                     refresher->publish_errors());
+      }
     }
     if (!dump_path.empty()) dump_round_log(session.scheduler(), dump_path.c_str());
     return 0;

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate (CI docs job).
+
+Two checks, both against the working tree (no build needed):
+
+1. Intra-repo markdown links: every relative link target in a tracked
+   ``*.md`` file must exist.  External links (http/https/mailto), pure
+   anchors, and targets resolving outside the repo (GitHub web paths like
+   the CI badge's ``../../actions/...``) are skipped.
+
+2. CLI flag drift: for the documented binaries (``tune_network``,
+   ``harl_harvest``) the set of flags the code parses (exact ``"--flag"``
+   string literals), the flags its ``///`` doc-header usage block mentions,
+   and the flags README.md documents must agree:
+
+   - every parsed flag appears in the doc header (stale header),
+   - every header flag is parsed (stale docs / removed flag),
+   - every parsed flag appears in README.md (stale README).
+
+Exit 0 when clean, 1 with a per-violation report otherwise.
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG = re.compile(r"--[a-z][a-z0-9-]*")
+PARSED_FLAG = re.compile(r"\"(--[a-z][a-z0-9-]*)\"")
+
+# Binaries whose usage documentation is under the drift contract.
+CLI_SOURCES = [
+    "examples/tune_network.cpp",
+    "examples/harl_harvest.cpp",
+]
+
+SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
+
+
+def markdown_files():
+    out = []
+    for root, dirs, files in os.walk(REPO):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md"):
+                out.append(os.path.join(root, name))
+    return sorted(out)
+
+
+def check_links(errors):
+    for path in markdown_files():
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in MD_LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(path), target))
+            if not resolved.startswith(REPO):
+                continue  # GitHub web path (e.g. the CI badge); not a file
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, REPO)
+                errors.append(f"{rel}: broken link -> {target}")
+
+
+def doc_header_flags(source_text):
+    """Flags mentioned in the leading /// comment block of a source file."""
+    flags = set()
+    for line in source_text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#") or stripped.startswith("int main"):
+            break  # first include / code ends the header block
+        if stripped.startswith("///"):
+            flags.update(FLAG.findall(stripped))
+    return flags
+
+
+def check_flag_drift(errors):
+    with open(os.path.join(REPO, "README.md"), encoding="utf-8") as f:
+        readme_flags = set(FLAG.findall(f.read()))
+
+    for rel in CLI_SOURCES:
+        path = os.path.join(REPO, rel)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        parsed = set(PARSED_FLAG.findall(text))
+        header = doc_header_flags(text)
+        for flag in sorted(parsed - header):
+            errors.append(f"{rel}: parsed flag {flag} missing from the /// usage header")
+        for flag in sorted(header - parsed):
+            errors.append(f"{rel}: usage header mentions {flag}, which the code does not parse")
+        for flag in sorted(parsed - readme_flags):
+            errors.append(f"README.md: flag {flag} of {rel} is undocumented")
+
+
+def main():
+    errors = []
+    check_links(errors)
+    check_flag_drift(errors)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s)")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print("check_docs: markdown links and CLI flag docs are consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file sw_ucb.hpp
+/// Sliding-window UCB (Eq. 1): the non-stationary bandit behind both levels
+/// of HARL's hierarchy.  Invariant: decisions depend only on the last `tau`
+/// rewards, so drifting reward distributions are tracked, not averaged away.
+/// Collaborators: TaskScheduler (subgraph level), HarlSearchPolicy (sketches).
+
 #include <deque>
 #include <vector>
 

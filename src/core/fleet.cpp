@@ -107,6 +107,24 @@ FleetReport FleetTuner::run() {
     }
   }
 
+  // One fleet-shared refresher: every session feeds it, and every session
+  // constructed after a republish starts from its latest model.
+  refresher_.reset();
+  if (opts_.refresh_period > 0) {
+    RefreshOptions ropts;
+    ropts.period_rounds = opts_.refresh_period;
+    ropts.publish_path = opts_.refresh_path;
+    if (ropts.publish_path.empty() && logging) {
+      ropts.publish_path = opts_.log_dir + "/experience.model.json";
+    }
+    ropts.snapshot_history = opts_.refresh_snapshots;
+    refresher_ = std::make_unique<ExperienceRefresher>(
+        workloads_[0].hardware, ropts,
+        opts_.refresh_resolver != nullptr ? opts_.refresh_resolver
+                                          : make_builtin_resolver());
+    refresher_->set_base_model(fleet_pretrained, fleet_pretrained_fp);
+  }
+
   std::size_t fleet_threads = opts_.max_concurrent > 0
                                   ? static_cast<std::size_t>(opts_.max_concurrent)
                                   : std::max(1u, std::thread::hardware_concurrency());
@@ -118,10 +136,23 @@ FleetReport FleetTuner::run() {
     const FleetWorkload& w = workloads_[i];
     SearchOptions opts = w.options;
     if (opts.pool == nullptr) opts.pool = opts_.measure_pool;
-    if (fleet_pretrained != nullptr && opts.cost_model.pretrained == nullptr &&
-        opts.experience_model.empty()) {
-      opts.cost_model.pretrained = fleet_pretrained;
-      opts.cost_model.pretrained_fingerprint = fleet_pretrained_fp;
+    if (opts_.async_callbacks.enabled && !opts.async_callbacks.enabled) {
+      opts.async_callbacks = opts_.async_callbacks;
+    }
+    if (opts.cost_model.pretrained == nullptr && opts.experience_model.empty()) {
+      ExperienceRefresher::Published latest;
+      if (refresher_ != nullptr) latest = refresher_->published();
+      if (latest.model != nullptr) {
+        // Mid-run warm-up: the latest republish supersedes the (cold or
+        // static) fleet model for sessions constructed after it.  The
+        // session's records stamp the refreshed fingerprint, partitioning
+        // its log segment from pre-republish ones.
+        opts.cost_model.pretrained = std::move(latest.model);
+        opts.cost_model.pretrained_fingerprint = latest.fingerprint;
+      } else if (fleet_pretrained != nullptr) {
+        opts.cost_model.pretrained = fleet_pretrained;
+        opts.cost_model.pretrained_fingerprint = fleet_pretrained_fp;
+      }
     }
     auto t0 = std::chrono::steady_clock::now();
     // Session construction (sketch generation per subgraph) is part of the
@@ -142,6 +173,7 @@ FleetReport FleetTuner::run() {
       }
     }
     for (TuningCallback* cb : w.callbacks) sessions_[i]->add_callback(cb);
+    if (refresher_ != nullptr) sessions_[i]->add_callback(refresher_.get());
     sessions_[i]->run(w.trials);
     auto t1 = std::chrono::steady_clock::now();
 

@@ -1,11 +1,19 @@
 #pragma once
 
+/// \file fleet.hpp
+/// FleetTuner: many networks tuned concurrently on one shared worker pool —
+/// the multi-tenant serving entry point, with per-workload durable logs, warm
+/// start, async callback dispatch, and in-run experience refresh.  Invariant:
+/// without refresh, each network's result is bit-identical to tuning it alone.
+/// Collaborators: TuningSession, RecordLogger, resume, ExperienceRefresher.
+
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/tuning.hpp"
+#include "exp/refresh.hpp"
 #include "io/record_logger.hpp"
 
 namespace harl {
@@ -81,6 +89,35 @@ class FleetTuner {
     /// `cost_model.pretrained` / `experience_model`.  Loaded once per fleet
     /// run and shared read-only across all sessions.
     std::string experience_model;
+    /// Async callback dispatch applied to every workload whose own
+    /// `SearchOptions::async_callbacks` is not already enabled: each
+    /// session's callbacks (record logger, refresher, user callbacks) run
+    /// on a per-session dispatcher thread instead of its tuning thread, so
+    /// a slow consumer cannot stall that workload's hot loop.
+    AsyncCallbackOptions async_callbacks;
+    /// In-run experience refresh: when > 0, one fleet-shared
+    /// `ExperienceRefresher` observes every session, folds each finished
+    /// round into a common `ExperienceStore`, and refits + republishes the
+    /// model every `refresh_period` observed rounds.  Workloads whose
+    /// sessions are constructed *after* a republish (and that bring no
+    /// model of their own) start from the refreshed model — mid-run warm-up
+    /// — and their records stamp the refreshed `xm` fingerprint.
+    /// Featurization targets the first workload's hardware; prefer one
+    /// refresher per hardware class in heterogeneous fleets.
+    int refresh_period = 0;
+    /// File the refresher republishes to.  Empty with `log_dir` set derives
+    /// `<log_dir>/experience.model.json`; empty otherwise keeps the
+    /// refreshed model in-memory (sibling pickup still works within the
+    /// fleet run).
+    std::string refresh_path;
+    /// Keep a `<refresh_path>.<fingerprint>` snapshot per republish, so
+    /// every log segment stays verifiable against the exact model that
+    /// produced it (`verify_resume` needs matching `xm`).
+    bool refresh_snapshots = false;
+    /// Maps record (network, task) provenance back to subgraphs for the
+    /// refresher's refits.  Null = `make_builtin_resolver()`; fleets tuning
+    /// custom networks must supply their own or refits harvest zero rows.
+    TaskResolver refresh_resolver;
   };
 
   FleetTuner() = default;
@@ -103,11 +140,16 @@ class FleetTuner {
   /// The record-log path workload `i` uses under `Options::log_dir`.
   std::string log_path(int i) const;
 
+  /// The fleet-shared in-run refresher of the most recent `run()` (nullptr
+  /// when `Options::refresh_period == 0`).  Exposed for stats and tests.
+  const ExperienceRefresher* refresher() const { return refresher_.get(); }
+
  private:
   Options opts_;
   std::vector<FleetWorkload> workloads_;
   std::vector<std::unique_ptr<TuningSession>> sessions_;
   std::vector<std::unique_ptr<RecordLogger>> loggers_;  ///< one per workload when logging
+  std::unique_ptr<ExperienceRefresher> refresher_;      ///< when refresh_period > 0
 };
 
 }  // namespace harl

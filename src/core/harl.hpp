@@ -16,10 +16,10 @@
 ///   search     - HARL (Algorithm 1), adaptive stopping (Section 5),
 ///                Ansor/Flextensor/AutoTVM/random baselines, task scheduler,
 ///                open policy registry
-///   io         - JSONL tuning records, record log writer/reader, callback
-///                bus, record logger, checkpoint/resume
+///   io         - JSONL tuning records, record log writer/reader, sync +
+///                async callback buses, record logger, checkpoint/resume
 ///   exp        - experience subsystem: offline harvest + GBDT pre-training,
-///                log compaction, scored history transfer
+///                in-run refresh, log compaction, scored history transfer
 ///   core       - TuningSession entry point, option presets, fleet tuner
 
 #include "bandit/sw_ucb.hpp"
@@ -31,12 +31,14 @@
 #include "cost/gbdt_io.hpp"
 #include "exp/compact.hpp"
 #include "exp/experience.hpp"
+#include "exp/refresh.hpp"
 #include "exp/transfer.hpp"
 #include "features/feature_extractor.hpp"
 #include "hwsim/hardware_config.hpp"
 #include "hwsim/measure_cache.hpp"
 #include "hwsim/measurer.hpp"
 #include "hwsim/simulator.hpp"
+#include "io/async_bus.hpp"
 #include "io/callbacks.hpp"
 #include "io/json.hpp"
 #include "io/record.hpp"

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file presets.hpp
+/// Option presets: `paper_options` reproduces Table 5 verbatim;
+/// `quick_options` shrinks only scale knobs (tracks, population, minibatch)
+/// so suites run in minutes while preserving every algorithmic property.
+/// Collaborators: SearchOptions consumers everywhere (benches, examples).
+
 #include "search/task_scheduler.hpp"
 
 namespace harl {

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file report.hpp
+/// Human-readable session reports: per-task tables and tuning-curve
+/// summaries rendered from a finished TuningSession.  Read-only over
+/// scheduler state.  Collaborators: TuningSession, util/table.
+
 #include <string>
 
 #include "core/tuning.hpp"

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file tuning.hpp
+/// TuningSession — the library's primary entry point: owns network,
+/// simulated hardware, measurer, and task scheduler for one auto-scheduling
+/// run, plus the curve metrics (`trials_to_reach`, `best_at`).  Invariant: a
+/// session's outcome is a pure function of its options (seed/identity).
+/// Collaborators: TaskScheduler, Measurer, CostSimulator, callbacks/resume.
+
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file cost_model.hpp
+/// XgbCostModel: the paper's learned cost model C(.) — an online GBDT over
+/// schedule features with warm-start refits and an optional pretrained prior
+/// blended as w*own + (1-w)*pretrained.  Invariant: scores are normalized
+/// throughput in (0, 1.5], labels rescale whenever the task best improves.
+/// Collaborators: TaskState, FeatureExtractor, Gbdt, experience subsystem.
+
 #include <cstdint>
 #include <memory>
 #include <vector>

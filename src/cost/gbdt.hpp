@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file gbdt.hpp
+/// Gradient-boosted regression trees (the reproduction's XGBoost):
+/// pre-sorted exact or histogram training, flat SoA batched inference,
+/// warm-start `fit_more`.  Invariant: training is deterministic from the
+/// config seed, and `fit`/`fit_more` sequences continue one RNG stream —
+/// also across save/load.  Collaborators: XgbCostModel, gbdt_io, experience.
+
 #include <cstdint>
 #include <vector>
 

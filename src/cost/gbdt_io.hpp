@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file gbdt_io.hpp
+/// Versioned byte-stable GBDT serialization: one-line JSON model files and
+/// the `gbdt_fingerprint` identity.  Invariant: save -> load -> save
+/// reproduces exact bytes and a loaded model predicts bit-identically.
+/// Collaborators: Gbdt, ExperienceStore/Refresher, SearchOptions model load.
+
 #include <string>
 
 #include "cost/gbdt.hpp"

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file gbdt_reference.hpp
+/// The seed GBDT implementation (per-node re-sorting) with its tie orders
+/// pinned — retained as the differential oracle `reference::ReferenceGbdt`.
+/// Invariant: production exact mode must match it bit-for-bit
+/// (GbdtExactParity tests, bench_cost_model gate).
+
 #include <vector>
 
 #include "cost/gbdt.hpp"

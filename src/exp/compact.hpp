@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file compact.hpp
+/// Record-log compaction: per run identity keep the best-k records plus the
+/// most recent window, in the same schema.  Invariant: output is a
+/// subsequence of the input that readers, resume, transfer, and harvesting
+/// accept transparently with identical best-schedule results.
+/// Collaborators: TuningRecord, harl_harvest, ExperienceStore.
+
 #include <cstddef>
 #include <string>
 #include <vector>

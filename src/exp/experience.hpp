@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file experience.hpp
+/// ExperienceStore: fold record logs into one offline training set and
+/// pretrain a GBDT (the Steiner-style value-function prior).  Invariant: the
+/// dataset — and the model bytes — is a pure function of the record *set*
+/// (canonical order + dedup), independent of add order or file splits.
+/// Collaborators: RecordReader, FeatureExtractor, Gbdt, TaskResolver.
+
 #include <cstddef>
 #include <functional>
 #include <string>

@@ -1,5 +1,13 @@
 #pragma once
 
+/// \file transfer.hpp
+/// Scored cross-task / cross-hardware history transfer
+/// (`transfer_history_best`): exact matches commit verbatim, structural
+/// siblings are re-tiled to the new extents and *seed* the search with a
+/// pessimistic estimate.  Invariant: only exact matches may claim a task
+/// best; estimates never stand as measurements.
+/// Collaborators: resume/apply_history_best, TaskState::seed_estimate.
+
 #include <string>
 #include <vector>
 

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file feature_extractor.hpp
+/// Schedule featurization: fixed-width numeric features (tiling shape,
+/// locality ratios, parallelism, hardware-relative terms) extracted
+/// allocation-free, one row or one flat matrix at a time.  Invariant:
+/// extraction is deterministic and row layout is stable (kNumFeatures).
+/// Collaborators: XgbCostModel, ExperienceStore, RL observations.
+
 #include <vector>
 
 #include "hwsim/hardware_config.hpp"

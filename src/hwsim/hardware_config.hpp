@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file hardware_config.hpp
+/// The simulated machine model: cache/core/vector/frequency parameters with
+/// a stable `fingerprint()` identity and a `similarity_vector()` for scored
+/// cross-hardware transfer.  Invariant: equal configs hash equal; the
+/// fingerprint partitions record logs per machine.
+/// Collaborators: CostSimulator, FeatureExtractor, records/transfer.
+
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file measure_cache.hpp
+/// Hash-keyed LRU cache of measured times keyed by Schedule::fingerprint().
+/// Invariant: a hit replays the stored result without a simulator call or a
+/// trial charge; capacity 0 disables.  Collaborators: Measurer, TaskState
+/// (records flagged `cached`).
+
 #include <cstddef>
 #include <cstdint>
 #include <list>

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file measurer.hpp
+/// The measurement stage: batched simulator dispatch with strict trial
+/// accounting, deterministic per-(seed, trial index) noise, a replay table
+/// for resume, and the LRU measure cache.  Invariant: results are
+/// bit-identical for any pool size; trials count simulator invocations only.
+/// Collaborators: CostSimulator, ThreadPool, resume/verify_resume.
+
 #include <atomic>
 #include <cstdint>
 #include <vector>

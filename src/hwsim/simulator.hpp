@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file simulator.hpp
+/// Deterministic analytical cost model standing in for the target hardware:
+/// predicts a schedule's execution time from tiling/locality/parallelism
+/// against a HardwareConfig.  Invariant: pure function of (schedule,
+/// config) — all run-to-run variation comes from the Measurer's noise.
+
 #include <string>
 #include <vector>
 

@@ -1,0 +1,173 @@
+#pragma once
+
+/// \file async_bus.hpp
+/// Bounded-queue asynchronous callback dispatcher: wraps any set of
+/// `TuningCallback`s so slow consumers (loggers, uploaders, experience
+/// refreshers) run on a worker thread instead of stalling the tuning hot
+/// loop.  Invariant: consumers see the exact event sequence a synchronous
+/// bus would deliver (FIFO, registration order), minus a counted suffix/
+/// window under the lossy overflow policies.  Collaborators: CallbackBus /
+/// TaskScheduler (producer side), RecordLogger / ExperienceRefresher
+/// (typical consumers).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/callbacks.hpp"
+
+namespace harl {
+
+/// What a producer does when the async queue is full.
+enum class AsyncOverflow {
+  /// Wait until the consumer frees a slot.  Lossless: every event is
+  /// delivered exactly once, but a consumer slower than the hot loop
+  /// eventually throttles tuning to its pace (the bound is the buffer).
+  kBlock,
+  /// Evict the oldest queued event to make room.  Never stalls the hot
+  /// loop; lossy under sustained overload (evictions are counted in
+  /// `dropped()`).  Suits monitoring consumers that only care about fresh
+  /// state, not persistence.
+  kDropOldest,
+  /// Reject the new event.  Never stalls and never reorders what was
+  /// already queued; rejections are counted in `rejected()` and warned
+  /// about once.  Suits consumers that prefer a visible gap over stale
+  /// delivery or hot-loop jitter.
+  kFail,
+};
+
+const char* async_overflow_name(AsyncOverflow policy);
+
+/// Queue shape and backpressure of one `AsyncCallbackBus`.
+struct AsyncBusOptions {
+  std::size_t capacity = 1024;  ///< max queued events (min 1)
+  AsyncOverflow overflow = AsyncOverflow::kBlock;
+};
+
+/// Per-run toggle threaded through `SearchOptions::async_callbacks` /
+/// `FleetTuner::Options`: when `enabled`, the scheduler routes every
+/// registered callback through a bus it owns instead of invoking them
+/// inline on the tuning thread.
+struct AsyncCallbackOptions {
+  bool enabled = false;
+  std::size_t capacity = 1024;
+  AsyncOverflow overflow = AsyncOverflow::kBlock;
+
+  AsyncBusOptions bus_options() const { return {capacity, overflow}; }
+};
+
+/// Decouples event production (the tuning thread) from consumption (one
+/// worker thread owned by the bus).  The bus is itself a `TuningCallback`,
+/// so it drops into any place a synchronous callback goes — including a
+/// scheduler-owned instance behind `SearchOptions::async_callbacks` — and
+/// fans each event out to its registered consumers.
+///
+/// Delivery contract:
+///   - events are delivered in the exact order they were produced (one
+///     FIFO queue, one worker), and to consumers in registration order —
+///     deterministic per-callback FIFO, same as the synchronous bus;
+///   - event payloads (records, round stats) are copied at enqueue time, so
+///     consumers never race the hot loop on them.  The `TaskScheduler&`
+///     argument is forwarded by reference: async consumers must only read
+///     run-constant scheduler state (network/task names, hardware, options,
+///     fingerprints) — live tuning state (bests, curves) belongs to the
+///     tuning thread while a run is in flight;
+///   - a consumer that throws is isolated: the exception is caught and
+///     counted (`consumer_errors()`), other consumers and later events are
+///     unaffected, and the tuning thread never sees it;
+///   - `flush()` blocks until every queued event is delivered; the
+///     scheduler flushes at `run()` exit and the destructor drains, so a
+///     clean shutdown loses nothing.  After a crash-style `_Exit` the
+///     delivered prefix is intact (consumers like `RecordLogger` flush per
+///     event batch), and the undelivered suffix is exactly what
+///     deterministic resume re-executes.
+///
+/// Lifetime: consumers and the observed scheduler must outlive the last
+/// `flush()`/destruction.  Producer-side calls (the `on_*` overrides) are
+/// serialized by the tuning thread as usual; `add`/`remove`/`flush` are
+/// thread-safe.  Never call `flush()` from inside a consumer (self-deadlock).
+class AsyncCallbackBus : public TuningCallback {
+ public:
+  explicit AsyncCallbackBus(AsyncBusOptions opts = {});
+  ~AsyncCallbackBus() override;
+
+  AsyncCallbackBus(const AsyncCallbackBus&) = delete;
+  AsyncCallbackBus& operator=(const AsyncCallbackBus&) = delete;
+
+  /// Registers `cb` (not owned; ignored when nullptr or already present).
+  /// Register consumers before the run starts for a complete stream: events
+  /// produced while no consumer is registered are not queued at all, and
+  /// events already queued at registration time are delivered to `cb` too.
+  void add(TuningCallback* cb);
+  /// Unregisters `cb`.  Queued events are no longer delivered to it; call
+  /// `flush()` first when the tail matters.
+  void remove(TuningCallback* cb);
+
+  // Producer side: enqueue a copy of the event (see class comment).
+  void on_records(const TaskScheduler& scheduler, int task,
+                  const std::vector<MeasuredRecord>& records) override;
+  void on_new_best(const TaskScheduler& scheduler, int task,
+                   const MeasuredRecord& best) override;
+  void on_round(const TaskScheduler& scheduler, const RoundEvent& round) override;
+  void on_task_complete(const TaskScheduler& scheduler, int task) override;
+
+  /// Blocks until the queue is empty and no event is mid-delivery, without
+  /// touching the consumers — safe while a consumer is being torn down,
+  /// which is why destructors use it instead of `flush()`.
+  void drain();
+
+  /// `drain()`, then forward `flush()` to every consumer (so a buffering
+  /// consumer drains at run exit in async mode exactly as it would in
+  /// sync mode).  Consumers must still be alive.
+  void flush() override;
+
+  // ---- accounting (monotone; readable from any thread) -----------------
+  std::uint64_t enqueued() const;   ///< events accepted into the queue
+  std::uint64_t delivered() const;  ///< events fanned out to consumers
+  std::uint64_t dropped() const;    ///< evictions under kDropOldest
+  std::uint64_t rejected() const;   ///< rejections under kFail
+  /// Exceptions thrown by consumers (one per (event, consumer) pair).
+  std::uint64_t consumer_errors() const;
+  /// Queued events not yet delivered.
+  std::size_t backlog() const;
+
+  const AsyncBusOptions& options() const { return opts_; }
+
+ private:
+  /// One queued event: the kind discriminates which payload fields are live.
+  struct Event {
+    enum class Kind { kRecords, kNewBest, kRound, kTaskComplete };
+    Kind kind = Kind::kRound;
+    const TaskScheduler* scheduler = nullptr;
+    int task = -1;
+    std::vector<MeasuredRecord> records;  ///< kRecords
+    MeasuredRecord best;                  ///< kNewBest
+    RoundEvent round;                     ///< kRound
+  };
+
+  bool has_consumers() const;
+  void push(Event event);
+  void worker_loop();
+  void deliver(const Event& event);
+
+  AsyncBusOptions opts_;
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  ///< signals the worker: work or stop
+  std::condition_variable space_cv_;  ///< signals producers/flushers: drained
+  std::deque<Event> queue_;
+  std::vector<TuningCallback*> consumers_;
+  bool stop_ = false;
+  bool delivering_ = false;  ///< worker is between pop and delivery end
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t consumer_errors_ = 0;
+  bool warned_overflow_ = false;
+  std::thread worker_;  ///< last member: joins before the rest is torn down
+};
+
+}  // namespace harl

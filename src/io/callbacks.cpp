@@ -37,4 +37,8 @@ void CallbackBus::emit_task_complete(const TaskScheduler& scheduler,
   for (TuningCallback* cb : callbacks_) cb->on_task_complete(scheduler, task);
 }
 
+void CallbackBus::flush_all() const {
+  for (TuningCallback* cb : callbacks_) cb->flush();
+}
+
 }  // namespace harl

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file callbacks.hpp
+/// The tuning observer interface (TuningCallback) and the synchronous
+/// fan-out CallbackBus.  Invariant: a fixed per-round event order
+/// (on_records -> on_new_best -> on_round; on_task_complete at budget end),
+/// and callbacks observe — they never influence the search.
+/// Collaborators: TaskScheduler (producer), RecordLogger, AsyncCallbackBus.
+
 #include <cstdint>
 #include <vector>
 
@@ -30,9 +37,11 @@ struct RoundEvent {
 /// `TaskScheduler::run` / `TuningSession::run` budget finishes (including
 /// saturation early-exit), after the final round's events.
 ///
-/// Callbacks run synchronously on the tuning thread; with `FleetTuner` a
-/// callback shared by several workloads must be thread-safe, one registered
-/// per workload need not be.
+/// Callbacks run synchronously on the tuning thread by default; with
+/// `SearchOptions::async_callbacks` (or a caller-owned `AsyncCallbackBus`,
+/// io/async_bus.hpp) they run on a dispatcher thread instead, seeing the
+/// same event sequence.  With `FleetTuner` a callback shared by several
+/// workloads must be thread-safe, one registered per workload need not be.
 class TuningCallback {
  public:
   virtual ~TuningCallback() = default;
@@ -58,6 +67,12 @@ class TuningCallback {
   virtual void on_task_complete(const TaskScheduler& scheduler, int task) {
     (void)scheduler, (void)task;
   }
+
+  /// Deliver any buffered events before returning.  A no-op for ordinary
+  /// (synchronous) callbacks; `AsyncCallbackBus` overrides it to drain its
+  /// queue.  The scheduler flushes every registered callback when a `run()`
+  /// budget completes, so by the time `run()` returns nothing is in flight.
+  virtual void flush() {}
 };
 
 /// An ordered set of non-owned callbacks with fan-out dispatch.  The bus is
@@ -79,6 +94,8 @@ class CallbackBus {
                      const MeasuredRecord& best) const;
   void emit_round(const TaskScheduler& scheduler, const RoundEvent& round) const;
   void emit_task_complete(const TaskScheduler& scheduler, int task) const;
+  /// `flush()` every registered callback (drains async dispatchers).
+  void flush_all() const;
 
  private:
   std::vector<TuningCallback*> callbacks_;

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file json.hpp
+/// Hand-rolled tolerant JSON (no third-party deps): raw-token numbers for
+/// uint64 fidelity, line/column errors, byte-stable `format_double`.
+/// Invariant: serialization is deterministic — equal values produce equal
+/// bytes.  Collaborators: record, gbdt_io.
+
 #include <cstdint>
 #include <string>
 #include <utility>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file record.hpp
+/// TuningRecord: one durable measurement with full provenance — the
+/// library's interchange format (see docs/RECORD_SCHEMA.md).  Invariant:
+/// serialization is byte-stable and `schedule_from_record` rebuilds the
+/// exact schedule.  Collaborators: record_io, resume, experience, compact.
+
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file record_io.hpp
+/// Streaming JSONL record I/O: flushing RecordWriter, tolerant RecordReader
+/// (skips malformed/newer lines with positions, survives torn tails).
+/// Invariant: a crash costs at most the line in flight; everything readable
+/// is replayable.  Collaborators: RecordLogger, resume, ExperienceStore.
+
 #include <cstdio>
 #include <string>
 #include <vector>

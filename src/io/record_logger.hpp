@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file record_logger.hpp
+/// RecordLogger: persistence as *just another* TuningCallback — appends
+/// every committed record to a JSONL log, flushing per round.  Invariant:
+/// with `set_skip`, a resumed run appends each record exactly once across
+/// any number of crash/resume cycles.  Collaborators: CallbackBus/
+/// AsyncCallbackBus, RecordWriter, resume.
+
 #include <string>
 #include <vector>
 

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file resume.hpp
+/// Checkpoint-resume by deterministic re-execution with measurement replay,
+/// cross-run transfer (`apply_history_best`), and `verify_resume` drift
+/// detection.  Invariant: records replay only into a session whose full run
+/// identity (network, hw, policy, seed, xm) matches; resumed runs are
+/// bit-identical to uninterrupted ones.  Collaborators: Measurer, transfer.
+
 #include <string>
 #include <vector>
 

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file axis.hpp
+/// Iteration axes: named loop dimensions with extents, the atoms subgraphs
+/// and schedules are built from.  Collaborators: TensorOp, LoopNest,
+/// tiling.
+
 #include <cstdint>
 #include <string>
 

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file subgraph.hpp
+/// Subgraph and Network: the tunable unit (a fused stage DAG with weight
+/// and flops) and a named collection of them.  Invariant:
+/// `structure_signature()` is extent-free, so structurally equal tasks
+/// match across shapes.  Collaborators: workloads, sketches, TaskState.
+
 #include <cstdint>
 #include <string>
 #include <vector>

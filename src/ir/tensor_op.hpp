@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file tensor_op.hpp
+/// Tensor operators: typed compute stages (GEMM, conv, elementwise, ...)
+/// with iteration spaces and byte/flop accounting used by featurization and
+/// the simulator.  Collaborators: Subgraph, FeatureExtractor, CostSimulator.
+
 #include <cstdint>
 #include <string>
 #include <vector>

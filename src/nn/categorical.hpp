@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file categorical.hpp
+/// Categorical distribution head: masked softmax sampling with log-probs
+/// and entropy for the PPO actor.  Invariant: sampling is deterministic
+/// given the Rng state and mask.  Collaborators: Mlp, PPO.
+
 #include <vector>
 
 #include "util/rng.hpp"

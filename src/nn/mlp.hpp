@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file mlp.hpp
+/// Minimal MLP (dense layers + tanh) with manual backprop — the function
+/// approximator for the PPO actor and critic.  Invariant: initialization
+/// and updates are deterministic from the seed.  Collaborators: rl/ppo.
+
 #include <cstddef>
 #include <vector>
 

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file ppo.hpp
+/// PPO actor-critic over schedule modification actions (clipped surrogate,
+/// GAE, entropy bonus) — the low level of HARL's hierarchy.  Invariant:
+/// updates are deterministic from the seed and minibatch layout.
+/// Collaborators: nn (Mlp, Categorical), HarlSearchPolicy.
+
 #include <cstdint>
 #include <vector>
 

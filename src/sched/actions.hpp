@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file actions.hpp
+/// The schedule modification actions of Table 3 (tile moves, compute-at,
+/// parallel depth, unroll) and per-sketch ActionSpace enumeration.
+/// Invariant: applying a legal action yields a schedule that still
+/// validates.  Collaborators: Schedule, HarlSearchPolicy, RL observations.
+
 #include <array>
 #include <cstdint>
 #include <string>

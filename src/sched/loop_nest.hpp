@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file loop_nest.hpp
+/// Loop-nest rendering of a scheduled subgraph: the ordered loop structure
+/// featurization and the simulator reason about.  Collaborators: Schedule,
+/// FeatureExtractor, CostSimulator.
+
 #include <string>
 
 #include "sched/schedule.hpp"

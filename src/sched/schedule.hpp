@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file schedule.hpp
+/// Schedule: a sketch plus per-stage decisions (tile factors, compute-at,
+/// parallel depth, unroll) with validation and a collision-resistant
+/// `fingerprint()`.  Invariant: the fingerprint covers subgraph + sketch +
+/// decisions, so equal fingerprints mean the same measured program.
+/// Collaborators: sketch, actions, Measurer/MeasureCache, records.
+
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file sketch.hpp
+/// Sketch generation (Table 2): the high-level schedule skeletons (tiling
+/// structure, fusion choices) enumerated per subgraph.  Invariant:
+/// generation is deterministic, and `sketch_id`/`tag` are stable identities
+/// records rely on.  Collaborators: Schedule, TaskState, record rebuild.
+
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file tiling.hpp
+/// Tiling math: factorization enumeration and manipulation of per-axis
+/// tile vectors.  Invariant: a tile vector's product always equals the axis
+/// extent.  Collaborators: sketches, actions, transfer's adapt_tile_factors.
+
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file adaptive_stopping.hpp
+/// HARL's adaptive track stopping (Section 5): allocate measurement tracks
+/// by predicted-improvement statistics instead of a fixed length.
+/// Invariant: decisions are a deterministic function of observed scores.
+/// Collaborators: HarlSearchPolicy.
+
 #include <vector>
 
 namespace harl {

@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file ansor_search.hpp
+/// Ansor baseline: evolutionary search over sketch populations with
+/// cost-model ranking and epsilon-greedy measure selection.
+/// Collaborators: TaskState, XgbCostModel, select_top_k.
+
 #include "features/feature_extractor.hpp"
 #include "search/search_common.hpp"
 

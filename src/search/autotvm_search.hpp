@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file autotvm_search.hpp
+/// AutoTVM-style simulated-annealing baseline over the flattened knob
+/// space.  Collaborators: TaskState, XgbCostModel.
+
 #include "search/search_common.hpp"
 
 namespace harl {

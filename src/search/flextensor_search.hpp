@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file flextensor_search.hpp
+/// Flextensor baseline: fixed-sketch RL search (PPO over modifications of
+/// one sketch, no hierarchy, no adaptive stopping).  Collaborators:
+/// TaskState, rl/ppo.
+
 #include <memory>
 
 #include "features/feature_extractor.hpp"

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file harl_search.hpp
+/// The full HARL policy (Algorithm 1): sketch-level SW-UCB, PPO-guided
+/// modification tracks, adaptive stopping, cost-model top-K measurement.
+/// Invariant: a round is deterministic from the per-task seed and history.
+/// Collaborators: bandit, rl, adaptive_stopping, search_common.
+
 #include <memory>
 #include <vector>
 

@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file policy_registry.hpp
+/// Open string-keyed policy factory (case-insensitive, thread-safe):
+/// built-ins self-register; custom policies plug in by name via
+/// `SearchOptions::policy_name` with no library edits.  Invariant: name
+/// lookup is the single path every policy — built-in or external — is
+/// created through.  Collaborators: TaskScheduler/make_policy, CLIs.
+
 #include <functional>
 #include <memory>
 #include <mutex>

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file random_search.hpp
+/// Uniform random baseline: propose random schedules, measure, repeat.
+/// The floor every learned policy must beat.  Collaborators: TaskState.
+
 #include "search/search_common.hpp"
 
 namespace harl {

@@ -1,5 +1,13 @@
 #pragma once
 
+/// \file search_common.hpp
+/// Shared per-task search state and policy interface: MeasuredRecord,
+/// TaskState (sketches, action spaces, cost model, best pool, curves),
+/// SearchPolicy, top-K selection, measure_and_commit.  Invariant: trial
+/// accounting excludes cached records (sum(task trials) == trials_used),
+/// and seeded estimates never claim a task best.  Collaborators: policies,
+/// TaskScheduler, Measurer, transfer.
+
 #include <cstdint>
 #include <limits>
 #include <memory>

@@ -111,9 +111,21 @@ TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
     policies_.push_back(
         make_policy(opts_.effective_policy_name(), tasks_.back().get(), per_task));
   }
+  if (opts_.async_callbacks.enabled) {
+    async_bus_ =
+        std::make_unique<AsyncCallbackBus>(opts_.async_callbacks.bus_options());
+    callbacks_.add(async_bus_.get());
+  }
 }
 
-TaskScheduler::~TaskScheduler() = default;
+TaskScheduler::~TaskScheduler() {
+  // Drain in-flight events while tasks/policies (whose state consumers may
+  // read) are still alive; ~AsyncCallbackBus would drain anyway, but member
+  // destruction order should not be what correctness hangs on.  drain(),
+  // not flush(): a consumer owned next to this scheduler (fleet loggers)
+  // may already be destroyed, and forwarding flush() would call into it.
+  if (async_bus_ != nullptr) async_bus_->drain();
+}
 
 double TaskScheduler::estimated_latency_ms() const {
   double total = 0;
@@ -242,6 +254,10 @@ void TaskScheduler::run(Measurer& measurer, std::int64_t total_trials) {
   for (int n = 0; n < num_tasks(); ++n) {
     callbacks_.emit_task_complete(*this, n);
   }
+  // Budget complete: drain async dispatchers so every event of this run has
+  // reached its consumers (loggers flushed, refreshers up to date) before
+  // control returns to the caller.
+  callbacks_.flush_all();
 }
 
 std::vector<std::int64_t> TaskScheduler::task_allocations() const {

@@ -1,11 +1,20 @@
 #pragma once
 
+/// \file task_scheduler.hpp
+/// SearchOptions + TaskScheduler: the end-to-end tuner — one TaskState and
+/// policy per subgraph, budget allocation via the Eq. 3 gradient (bandit or
+/// greedy), round pipeline, callback publication (sync or async bus).
+/// Invariant: the schedule stream is a pure function of the run identity
+/// (options + seed + experience fingerprint).  Collaborators: policies,
+/// selectors, Measurer, io/callbacks, io/async_bus.
+
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bandit/sw_ucb.hpp"
+#include "io/async_bus.hpp"
 #include "io/callbacks.hpp"
 #include "ir/subgraph.hpp"
 #include "search/ansor_search.hpp"
@@ -107,6 +116,14 @@ struct SearchOptions {
   /// trials).  0 disables caching.
   std::size_t measure_cache_capacity = 4096;
 
+  /// When `enabled`, every callback registered on the scheduler runs on a
+  /// scheduler-owned `AsyncCallbackBus` dispatcher thread instead of the
+  /// tuning thread, so slow consumers cannot stall the search hot loop.
+  /// Consumers see the same event stream in the same order; `run()` flushes
+  /// on exit, and round_log/bests/record-log bytes are identical to the
+  /// synchronous path.  See io/async_bus.hpp for capacity/backpressure.
+  AsyncCallbackOptions async_callbacks;
+
   /// The registry key the run resolves its policy with — `policy_name` when
   /// set, else the built-in name of `policy`.  Also the provenance string
   /// stamped into tuning records.
@@ -185,10 +202,31 @@ class TaskScheduler {
   const SearchOptions& options() const { return opts_; }
 
   /// Subscribes `cb` (not owned) to this scheduler's tuning events; see
-  /// `TuningCallback` for the event contract.
-  void add_callback(TuningCallback* cb) { callbacks_.add(cb); }
-  void remove_callback(TuningCallback* cb) { callbacks_.remove(cb); }
+  /// `TuningCallback` for the event contract.  With
+  /// `SearchOptions::async_callbacks` enabled, `cb` is registered on the
+  /// scheduler-owned async bus and runs on its dispatcher thread.
+  void add_callback(TuningCallback* cb) {
+    if (async_bus_ != nullptr) {
+      async_bus_->add(cb);
+    } else {
+      callbacks_.add(cb);
+    }
+  }
+  void remove_callback(TuningCallback* cb) {
+    if (async_bus_ != nullptr) {
+      async_bus_->remove(cb);
+    } else {
+      callbacks_.remove(cb);
+    }
+  }
   const CallbackBus& callbacks() const { return callbacks_; }
+  /// The scheduler-owned async dispatcher (nullptr when callbacks run
+  /// synchronously).  Exposed for stats (backlog, drops, consumer errors).
+  const AsyncCallbackBus* async_bus() const { return async_bus_.get(); }
+  /// Drain every registered callback (async dispatchers included).  `run()`
+  /// does this on exit; callers driving `run_round` directly call it before
+  /// reading consumer side effects (log files, refreshed models).
+  void flush_callbacks() { callbacks_.flush_all(); }
 
   /// Estimated network latency sum_n w_n g_n with current per-task bests;
   /// +inf until every task has at least one measurement.
@@ -233,6 +271,11 @@ class TaskScheduler {
   std::vector<RoundLog> round_log_;
   std::int64_t run_start_trials_ = -1;  ///< trials_used() at the start of run()
   CallbackBus callbacks_;
+  /// Owned async dispatcher when `SearchOptions::async_callbacks.enabled`;
+  /// registered as the only member of `callbacks_`.  Declared last so it is
+  /// destroyed (drained) first, while tasks/policies are still alive for
+  /// consumers reading scheduler state.
+  std::unique_ptr<AsyncCallbackBus> async_bus_;
 };
 
 }  // namespace harl

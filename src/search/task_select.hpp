@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file task_select.hpp
+/// Open task-selection registry (TaskSelectRegistry) and the built-in
+/// rules: greedy argmin-gradient, SW-UCB bandit, round-robin.  Invariant:
+/// name-selected and enum-selected rules run bit-identically.
+/// Collaborators: TaskScheduler, SearchOptions.
+
 #include <functional>
 #include <memory>
 #include <mutex>

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file histogram.hpp
+/// Fixed-bin histogram accumulation for report rendering (search-path
+/// efficiency figures).  Collaborators: core/report, benches.
+
 #include <cstddef>
 #include <string>
 #include <vector>

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file logging.hpp
+/// Leveled stderr logging macros (HARL_LOG_WARN & co.) — the library's
+/// only logging channel; quiet by default paths never allocate.
+
 #include <cstdio>
 #include <string>
 

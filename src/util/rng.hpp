@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file rng.hpp
+/// Deterministic PCG-style RNG with splittable streams and serializable
+/// state words.  Invariant: `serial_state`/`restore_state` round-trips the
+/// exact stream — the basis of GBDT warm-start and refresh determinism.
+/// Collaborators: everything randomized (search, Gbdt, Measurer noise).
+
 #include <cstdint>
 #include <cstddef>
 #include <cmath>

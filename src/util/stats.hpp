@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file stats.hpp
+/// Small numeric helpers: means, quantiles, online accumulators used by
+/// reports and benches.  Collaborators: core/report, bench harnesses.
+
 #include <cstddef>
 #include <vector>
 

@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file table.hpp
+/// Aligned ASCII tables with CSV export — the rendering backend of every
+/// report and bench.  Collaborators: core/report, benches, CLIs.
+
 #include <string>
 #include <vector>
 

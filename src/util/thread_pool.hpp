@@ -1,5 +1,12 @@
 #pragma once
 
+/// \file thread_pool.hpp
+/// Caller-participating worker pool with chunk-claiming `parallel_for`.
+/// Invariant: the caller executes iterations too, so nested use across
+/// fleet sessions cannot deadlock on a small pool; determinism comes from
+/// indexing results by iteration.  Collaborators: Measurer, XgbCostModel,
+/// FleetTuner.
+
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>

@@ -1,5 +1,11 @@
 #pragma once
 
+/// \file networks.hpp
+/// Shipped network inventory (BERT, ResNet-50, MobileNet-V2) behind
+/// `make_network(name, batch)`.  Invariant: the "<base>_b<batch>" naming
+/// scheme is what the builtin experience resolver parses back.
+/// Collaborators: TuningSession, benches, exp/experience.
+
 #include <cstdint>
 #include <string>
 #include <vector>

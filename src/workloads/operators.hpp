@@ -1,5 +1,10 @@
 #pragma once
 
+/// \file operators.hpp
+/// Single-operator constructors (GEMM, conv variants, elementwise, ...)
+/// with shapes from the paper's Table 6.  Collaborators: suites, networks,
+/// tests/benches.
+
 #include <cstdint>
 #include <string>
 

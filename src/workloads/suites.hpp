@@ -1,5 +1,9 @@
 #pragma once
 
+/// \file suites.hpp
+/// The paper's operator benchmark suites: named (operator, shape) lists
+/// driving the per-operator tables.  Collaborators: bench harnesses.
+
 #include <cstdint>
 #include <string>
 #include <vector>
