@@ -1,0 +1,290 @@
+/// Zero-search serving front end: answer "best schedule for this task on
+/// this hardware" from a knowledge cache, without spinning up a tuning
+/// session.
+///
+///   harl_query --task=NETWORK/SUBGRAPH [--hw=xeon|rtx3090|test]
+///              [--cache=FILE] [--logs=LOG]... [--dir=DIR] [--model=FILE]
+///              [--save-cache=FILE] [--topk=N] [--repeat=N]
+///              [--tier-stats] [--expect-best] [--no-golden]
+///       Load the cache file (if given), fold in the record logs, optionally
+///       attach a pretrained GBDT for L2 re-ranking, and serve the query:
+///       L1 = exact (network, task, hardware) best rebuilt from its record,
+///       L2 = structural near-miss adapted to the query shape,
+///       L3 = deterministic golden-advice default on a cold miss.
+///
+///   --task=NETWORK/SUBGRAPH  what to serve, e.g. bert_b1/GEMM-I (builtin
+///                            workload names; see harl_harvest stats)
+///   --hw=NAME          target hardware preset (default xeon)
+///   --cache=FILE       knowledge-cache JSON to load before the logs
+///   --logs=LOG         a tuning log to fold in (repeatable)
+///   --dir=DIR          fold in every *.jsonl under DIR (sorted)
+///   --model=FILE       pretrained GBDT re-ranking L2 candidates
+///   --save-cache=FILE  write the folded cache back out (atomic) and, with
+///                      no --task, exit after building it
+///   --topk=N           records kept per (network, task, hardware) entry
+///   --repeat=N         serve N times and report the median latency
+///   --tier-stats       print the cache's tier hit counters
+///   --expect-best      verify the answer is an L1 hit whose record is
+///                      byte-identical to the best log record (exit 6 when
+///                      not — the CI round-trip gate)
+///   --no-golden        report a miss instead of golden advice on cold tasks
+///   --help             print usage and exit
+///
+/// Exit codes: 0 served, 1 setup error, 2 usage error, 6 --expect-best
+/// mismatch.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/harl.hpp"
+#include "serve/knowledge_cache.hpp"
+
+#include <dirent.h>
+
+namespace {
+
+using namespace harl;
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+std::vector<std::string> jsonl_files(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    std::fprintf(stderr, "cannot open directory %s\n", dir.c_str());
+    return out;
+  }
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 6 && name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+HardwareConfig hardware_for(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "xeon" || name == "xeon_6226r") return HardwareConfig::xeon_6226r();
+  if (name == "rtx3090" || name == "gpu") return HardwareConfig::rtx3090();
+  if (name == "test") return HardwareConfig::test_config();
+  std::fprintf(stderr, "unknown --hw=%s (xeon, rtx3090, test)\n", name.c_str());
+  *ok = false;
+  return HardwareConfig::test_config();
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: harl_query --task=NETWORK/SUBGRAPH [--hw=xeon|rtx3090|test]\n"
+      "                  [--cache=FILE] [--logs=LOG]... [--dir=DIR]\n"
+      "                  [--model=FILE] [--save-cache=FILE] [--topk=N]\n"
+      "                  [--repeat=N] [--tier-stats] [--expect-best]\n"
+      "                  [--no-golden] [--help]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string task_spec, hw_name = "xeon", cache_path, model_path, save_path;
+  std::vector<std::string> logs;
+  int topk = 0, repeat = 1;
+  bool tier_stats = false, expect_best = false, no_golden = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--task", &v)) {
+      task_spec = v;
+    } else if (flag_value(argv[i], "--hw", &v)) {
+      hw_name = v;
+    } else if (flag_value(argv[i], "--cache", &v)) {
+      cache_path = v;
+    } else if (flag_value(argv[i], "--logs", &v)) {
+      logs.push_back(v);
+    } else if (flag_value(argv[i], "--dir", &v)) {
+      for (std::string& f : jsonl_files(v)) logs.push_back(std::move(f));
+    } else if (flag_value(argv[i], "--model", &v)) {
+      model_path = v;
+    } else if (flag_value(argv[i], "--save-cache", &v)) {
+      save_path = v;
+    } else if (flag_value(argv[i], "--topk", &v)) {
+      topk = std::atoi(v);
+    } else if (flag_value(argv[i], "--repeat", &v)) {
+      repeat = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--tier-stats") == 0) {
+      tier_stats = true;
+    } else if (std::strcmp(argv[i], "--expect-best") == 0) {
+      expect_best = true;
+    } else if (std::strcmp(argv[i], "--no-golden") == 0) {
+      no_golden = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (task_spec.empty() && save_path.empty()) {
+    usage(stderr);
+    return 2;
+  }
+
+  bool hw_ok = false;
+  HardwareConfig hw = hardware_for(hw_name, &hw_ok);
+  if (!hw_ok) return 1;
+
+  KnowledgeCacheOptions opts;
+  if (topk > 0) opts.top_k = topk;
+  opts.golden_advice = !no_golden;
+  KnowledgeCache cache(opts);
+
+  if (!cache_path.empty()) {
+    std::string error;
+    if (!load_cache(cache_path, &cache, &error)) {
+      std::fprintf(stderr, "cannot load cache %s: %s\n", cache_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("cache: %s (%zu entries, %zu records, fp %llu)\n",
+                cache_path.c_str(), cache.num_entries(), cache.num_records(),
+                static_cast<unsigned long long>(cache_fingerprint(cache)));
+  }
+  for (const std::string& log : logs) {
+    std::size_t added = cache.insert_log(log);
+    std::printf("  %-40s +%zu records\n", log.c_str(), added);
+  }
+  if (!model_path.empty()) {
+    auto model = std::make_shared<Gbdt>();
+    std::string error;
+    if (!load_gbdt(model_path, model.get(), &error)) {
+      std::fprintf(stderr, "cannot load model %s: %s\n", model_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    cache.set_model(std::move(model));
+  }
+  if (!save_path.empty()) {
+    std::string error;
+    if (!save_cache(cache, save_path, &error)) {
+      std::fprintf(stderr, "cannot save cache %s: %s\n", save_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("cache saved: %s (%zu entries, %zu records, fp %llu)\n",
+                save_path.c_str(), cache.num_entries(), cache.num_records(),
+                static_cast<unsigned long long>(cache_fingerprint(cache)));
+    if (task_spec.empty()) return 0;
+  }
+
+  std::size_t slash = task_spec.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= task_spec.size()) {
+    std::fprintf(stderr, "--task wants NETWORK/SUBGRAPH, got \"%s\"\n",
+                 task_spec.c_str());
+    return 2;
+  }
+  std::string net_name = task_spec.substr(0, slash);
+  std::string sub_name = task_spec.substr(slash + 1);
+  TaskResolver resolver = make_builtin_resolver();
+  const Subgraph* graph = resolver(net_name, sub_name);
+  if (graph == nullptr) {
+    std::fprintf(stderr, "unknown task %s/%s (builtin workloads only)\n",
+                 net_name.c_str(), sub_name.c_str());
+    return 1;
+  }
+
+  if (repeat < 1) repeat = 1;
+  ServeResult result;
+  std::vector<double> micros;
+  micros.reserve(static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    result = cache.serve(net_name, *graph, hw);
+    auto t1 = std::chrono::steady_clock::now();
+    micros.push_back(std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+
+  std::printf("query: %s/%s on %s (fp %llu)\n", net_name.c_str(),
+              sub_name.c_str(), hw.name.c_str(),
+              static_cast<unsigned long long>(hw.fingerprint()));
+  std::printf("tier: %s\n", serve_tier_name(result.tier));
+  if (result.tier == ServeTier::kMiss) {
+    std::printf("no knowledge for this task; run a tuning session\n");
+  } else {
+    std::printf("schedule fingerprint: %llu\n",
+                static_cast<unsigned long long>(result.schedule.fingerprint()));
+    if (result.tier != ServeTier::kL3) {
+      std::printf("score: %s\n", json::format_double(result.score).c_str());
+      std::printf("est_time_ms: %s\n",
+                  json::format_double(result.est_time_ms).c_str());
+      std::printf("record: %s\n", record_to_json(result.record).c_str());
+    }
+    std::printf("schedule:\n%s", result.schedule.to_string().c_str());
+  }
+  std::sort(micros.begin(), micros.end());
+  std::printf("lookup: median %.1f us over %d repeat(s)\n",
+              micros[micros.size() / 2], repeat);
+
+  if (tier_stats) {
+    ServeStats s = cache.stats();
+    std::printf(
+        "tier stats: queries=%zu l1=%zu l2=%zu l3=%zu miss=%zu inserts=%zu "
+        "duplicates=%zu evictions=%zu rejected=%zu\n",
+        s.queries, s.l1_hits, s.l2_hits, s.l3_hits, s.misses, s.inserts,
+        s.duplicates, s.evictions, s.rejected);
+  }
+
+  if (expect_best) {
+    // The CI round-trip contract: the answer must be an L1 hit whose record
+    // is byte-identical to the best record the logs hold for this triple.
+    if (result.tier != ServeTier::kL1) {
+      std::fprintf(stderr, "expect-best: answer came from %s, not L1\n",
+                   serve_tier_name(result.tier));
+      return 6;
+    }
+    std::string best;  // minimum under (time_ms asc, serialized asc)
+    double best_time = 0;
+    const std::uint64_t hw_fp = hw.fingerprint();
+    for (const std::string& log : logs) {
+      for (const TuningRecord& rec : read_records(log)) {
+        if (rec.network != net_name || rec.task != sub_name ||
+            rec.hardware_fp != hw_fp || !(rec.time_ms > 0)) {
+          continue;
+        }
+        std::string line = record_to_json(rec);
+        if (best.empty() || rec.time_ms < best_time ||
+            (rec.time_ms == best_time && line < best)) {
+          best_time = rec.time_ms;
+          best = std::move(line);
+        }
+      }
+    }
+    if (best.empty()) {
+      std::fprintf(stderr, "expect-best: the logs hold no record for %s/%s\n",
+                   net_name.c_str(), sub_name.c_str());
+      return 6;
+    }
+    if (record_to_json(result.record) != best) {
+      std::fprintf(stderr,
+                   "expect-best: served record differs from the log best\n"
+                   "  served: %s\n  best:   %s\n",
+                   record_to_json(result.record).c_str(), best.c_str());
+      return 6;
+    }
+    std::printf("expect-best: L1 bit-identity OK\n");
+  }
+  return 0;
+}

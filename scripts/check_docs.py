@@ -34,6 +34,7 @@ PARSED_FLAG = re.compile(r"\"(--[a-z][a-z0-9-]*)\"")
 CLI_SOURCES = [
     "examples/tune_network.cpp",
     "examples/harl_harvest.cpp",
+    "examples/harl_query.cpp",
 ]
 
 SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
@@ -86,6 +87,11 @@ def check_flag_drift(errors):
 
     for rel in CLI_SOURCES:
         path = os.path.join(REPO, rel)
+        if not os.path.exists(path):
+            # A listed binary that vanished is drift, not a skip: the list
+            # itself is documentation of the CLI surface.
+            errors.append(f"{rel}: listed in CLI_SOURCES but does not exist")
+            continue
         with open(path, encoding="utf-8") as f:
             text = f.read()
         parsed = set(PARSED_FLAG.findall(text))

@@ -125,6 +125,23 @@ FleetReport FleetTuner::run() {
     refresher_->set_base_model(fleet_pretrained, fleet_pretrained_fp);
   }
 
+  // One fleet-shared cache updater: every committed measurement becomes
+  // servable (L1) in the caller's KnowledgeCache while the fleet still runs.
+  cache_updater_.reset();
+  if (opts_.knowledge_cache != nullptr) {
+    CacheUpdateOptions copts;
+    copts.save_period_rounds = opts_.cache_save_period;
+    copts.save_path = opts_.cache_save_path;
+    if (copts.save_path.empty() && logging) {
+      copts.save_path = opts_.log_dir + "/knowledge.cache.json";
+    }
+    cache_updater_ =
+        std::make_unique<KnowledgeCacheUpdater>(opts_.knowledge_cache, copts);
+    if (opts_.knowledge_cache->model() == nullptr && fleet_pretrained != nullptr) {
+      opts_.knowledge_cache->set_model(fleet_pretrained);
+    }
+  }
+
   std::size_t fleet_threads = opts_.max_concurrent > 0
                                   ? static_cast<std::size_t>(opts_.max_concurrent)
                                   : std::max(1u, std::thread::hardware_concurrency());
@@ -174,7 +191,9 @@ FleetReport FleetTuner::run() {
     }
     for (TuningCallback* cb : w.callbacks) sessions_[i]->add_callback(cb);
     if (refresher_ != nullptr) sessions_[i]->add_callback(refresher_.get());
+    if (cache_updater_ != nullptr) sessions_[i]->add_callback(cache_updater_.get());
     sessions_[i]->run(w.trials);
+    if (cache_updater_ != nullptr) cache_updater_->save_now();
     auto t1 = std::chrono::steady_clock::now();
 
     const TuningSession& s = *sessions_[i];

@@ -15,6 +15,7 @@
 #include "core/tuning.hpp"
 #include "exp/refresh.hpp"
 #include "io/record_logger.hpp"
+#include "serve/cache_updater.hpp"
 
 namespace harl {
 
@@ -118,6 +119,19 @@ class FleetTuner {
     /// refresher's refits.  Null = `make_builtin_resolver()`; fleets tuning
     /// custom networks must supply their own or refits harvest zero rows.
     TaskResolver refresh_resolver;
+    /// Serving cache kept warm during the run (src/serve/): when set, a
+    /// fleet-shared `KnowledgeCacheUpdater` observes every session and folds
+    /// each committed measurement into this cache, so concurrent `serve`
+    /// queries see new bests within one callback delivery.  Not owned; must
+    /// outlive `run()`.
+    KnowledgeCache* knowledge_cache = nullptr;
+    /// Republish the cache file every this many observed rounds (and once
+    /// at the end of each session).  <= 0 disables periodic publishes.
+    int cache_save_period = 8;
+    /// File the cache updater republishes to.  Empty with `log_dir` set
+    /// derives `<log_dir>/knowledge.cache.json`; empty otherwise keeps the
+    /// cache in-memory only.
+    std::string cache_save_path;
   };
 
   FleetTuner() = default;
@@ -144,12 +158,19 @@ class FleetTuner {
   /// when `Options::refresh_period == 0`).  Exposed for stats and tests.
   const ExperienceRefresher* refresher() const { return refresher_.get(); }
 
+  /// The fleet-shared cache updater of the most recent `run()` (nullptr when
+  /// `Options::knowledge_cache == nullptr`).  Exposed for stats and tests.
+  const KnowledgeCacheUpdater* cache_updater() const {
+    return cache_updater_.get();
+  }
+
  private:
   Options opts_;
   std::vector<FleetWorkload> workloads_;
   std::vector<std::unique_ptr<TuningSession>> sessions_;
   std::vector<std::unique_ptr<RecordLogger>> loggers_;  ///< one per workload when logging
   std::unique_ptr<ExperienceRefresher> refresher_;      ///< when refresh_period > 0
+  std::unique_ptr<KnowledgeCacheUpdater> cache_updater_;  ///< when knowledge_cache set
 };
 
 }  // namespace harl

@@ -119,11 +119,6 @@ Schedule adapt_record_schedule(const TuningRecord& rec,
   return sched;
 }
 
-namespace {
-
-/// Anchor-stage extents as logged: the per-axis tile products of the
-/// record's anchor-position stage (tile products equal extents by the
-/// TileVector invariant, so old records carry their shape implicitly).
 std::vector<std::int64_t> record_anchor_extents(const TuningRecord& rec,
                                                 int anchor_stage) {
   std::vector<std::int64_t> out;
@@ -150,6 +145,8 @@ double extent_similarity(const std::vector<std::int64_t>& a,
   }
   return std::exp(-dist / static_cast<double>(a.size()));
 }
+
+namespace {
 
 struct Candidate {
   const TuningRecord* record = nullptr;

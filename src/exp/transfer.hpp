@@ -82,6 +82,19 @@ TransferStats transfer_history_best(TuningSession& session,
 std::vector<std::int64_t> adapt_tile_factors(
     const std::vector<std::int64_t>& source_factors, std::int64_t target_extent);
 
+/// Anchor-stage extents a record carries implicitly: the per-axis tile
+/// products of its `anchor_stage`-position stage (tile products equal extents
+/// by the TileVector invariant).  Empty when the stage index is out of range.
+std::vector<std::int64_t> record_anchor_extents(const TuningRecord& rec,
+                                                int anchor_stage);
+
+/// Extent similarity of two same-length extent lists in [0, 1]:
+/// exp(-mean |ln(a_i / b_i)|), i.e. 1.0 for identical shapes, decaying with
+/// the geometric distance per axis.  Mismatched lengths or non-positive
+/// extents score 0 (structurally incomparable).
+double extent_similarity(const std::vector<std::int64_t>& a,
+                         const std::vector<std::int64_t>& b);
+
 /// Rebuild a record's schedule against a *different* task's sketch set,
 /// re-fitting every tile vector to the target extents and clamping the
 /// scalar knobs into range.  Returns a schedule with `sketch == nullptr` and

@@ -1,0 +1,501 @@
+#include "serve/knowledge_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "exp/transfer.hpp"
+#include "features/feature_extractor.hpp"
+#include "io/json.hpp"
+#include "io/record_io.hpp"
+#include "sched/tiling.hpp"
+#include "util/logging.hpp"
+
+namespace harl {
+
+const char* serve_tier_name(ServeTier tier) {
+  switch (tier) {
+    case ServeTier::kL1: return "L1";
+    case ServeTier::kL2: return "L2";
+    case ServeTier::kL3: return "L3";
+    case ServeTier::kMiss: return "miss";
+  }
+  return "?";
+}
+
+KnowledgeCache::KnowledgeCache(KnowledgeCacheOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.top_k < 1) opts_.top_k = 1;
+  if (opts_.rerank_k < 1) opts_.rerank_k = 1;
+}
+
+void KnowledgeCache::set_model(std::shared_ptr<const Gbdt> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  model_ = std::move(model);
+}
+
+std::shared_ptr<const Gbdt> KnowledgeCache::model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return model_;
+}
+
+bool KnowledgeCache::insert(const TuningRecord& rec) {
+  if (!(rec.time_ms > 0)) return false;
+  std::string serialized = record_to_json(rec);
+  std::lock_guard<std::mutex> lock(mu_);
+  return insert_locked(rec, std::move(serialized));
+}
+
+bool KnowledgeCache::insert_locked(const TuningRecord& rec,
+                                   std::string serialized) {
+  Entry& entry = entries_[Key{rec.network, rec.task, rec.hardware_fp}];
+  // Position under the total order (time_ms asc, serialized asc).
+  std::size_t pos = 0;
+  while (pos < entry.records.size() &&
+         (entry.records[pos].time_ms < rec.time_ms ||
+          (entry.records[pos].time_ms == rec.time_ms &&
+           entry.serialized[pos] < serialized))) {
+    ++pos;
+  }
+  if (pos < entry.serialized.size() && entry.serialized[pos] == serialized) {
+    ++stats_.duplicates;
+    return false;
+  }
+  const std::size_t top_k = static_cast<std::size_t>(opts_.top_k);
+  if (pos >= top_k) {
+    ++stats_.evictions;  // full of strictly better records
+    return false;
+  }
+  entry.records.insert(entry.records.begin() + static_cast<std::ptrdiff_t>(pos),
+                       rec);
+  entry.serialized.insert(
+      entry.serialized.begin() + static_cast<std::ptrdiff_t>(pos),
+      std::move(serialized));
+  ++stats_.inserts;
+  if (entry.records.size() > top_k) {
+    entry.records.pop_back();
+    entry.serialized.pop_back();
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+std::size_t KnowledgeCache::insert_log(const std::string& path) {
+  std::size_t added = 0;
+  for (const TuningRecord& rec : read_records(path)) {
+    if (insert(rec)) ++added;
+  }
+  return added;
+}
+
+const KnowledgeCache::TaskContext& KnowledgeCache::context_locked(
+    const std::string& network, const Subgraph& task) {
+  auto key = std::make_pair(network, task.name());
+  auto it = contexts_.find(key);
+  if (it != contexts_.end()) {
+    const TaskContext& ctx = *it->second;
+    // Same (network, task) name but different structure or shape: the cached
+    // sketches describe a different program — re-register.
+    if (ctx.graph.num_stages() == task.num_stages() &&
+        ctx.graph.structure_signature() == task.structure_signature() &&
+        ctx.graph.stage(ctx.graph.anchor_stage()).op.axes.size() ==
+            task.stage(task.anchor_stage()).op.axes.size()) {
+      bool same_extents = true;
+      const TensorOp& a = ctx.graph.stage(ctx.graph.anchor_stage()).op;
+      const TensorOp& b = task.stage(task.anchor_stage()).op;
+      for (std::size_t i = 0; i < a.axes.size(); ++i) {
+        if (a.axes[i].extent != b.axes[i].extent) same_extents = false;
+      }
+      if (same_extents) return ctx;
+    }
+  }
+  auto ctx = std::make_unique<TaskContext>();
+  ctx->graph = task;  // owned copy: sketches must never dangle
+  ctx->sketches = generate_sketches(ctx->graph);
+  TaskContext& ref = *ctx;
+  contexts_[key] = std::move(ctx);
+  return ref;
+}
+
+ServeResult KnowledgeCache::serve(const std::string& network,
+                                  const Subgraph& task,
+                                  const HardwareConfig& hw) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.queries;
+  const TaskContext& ctx = context_locked(network, task);
+  const int num_unroll = hw.num_unroll_options();
+  const Key key{network, task.name(), hw.fingerprint()};
+
+  // ---- L1: exact (network, task, hardware) entry, best record first ------
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    for (std::size_t i = 0; i < it->second.records.size(); ++i) {
+      const TuningRecord& rec = it->second.records[i];
+      std::string error;
+      Schedule s = schedule_from_record(rec, ctx.sketches, num_unroll, &error);
+      if (s.sketch == nullptr) {
+        ++stats_.rejected;
+        HARL_LOG_DEBUG("kcache: L1 record %zu of %s/%s unusable: %s", i,
+                       network.c_str(), task.name().c_str(), error.c_str());
+        continue;
+      }
+      ++stats_.l1_hits;
+      ServeResult res;
+      res.tier = ServeTier::kL1;
+      res.schedule = std::move(s);
+      res.est_time_ms = rec.time_ms;
+      res.score = 1.0;
+      res.record = rec;
+      return res;
+    }
+  }
+
+  // ---- L2: scored structural transfer + cost-model re-rank ---------------
+  ServeResult l2 = serve_l2_locked(key, task, hw, ctx);
+  if (l2.tier == ServeTier::kL2) {
+    ++stats_.l2_hits;
+    return l2;
+  }
+
+  // ---- L3: deterministic golden advice (or an honest miss) ---------------
+  if (opts_.golden_advice && !ctx.sketches.empty()) {
+    ++stats_.l3_hits;
+    ServeResult res;
+    res.tier = ServeTier::kL3;
+    res.schedule = golden_advice_schedule(ctx.sketches.front(), num_unroll);
+    return res;
+  }
+  ++stats_.misses;
+  return ServeResult{};
+}
+
+ServeResult KnowledgeCache::serve_l2_locked(const Key& query_key,
+                                            const Subgraph& task,
+                                            const HardwareConfig& hw,
+                                            const TaskContext& ctx) {
+  ServeResult miss;
+  const std::string sig = task.structure_signature();
+  const int anchor = task.anchor_stage();
+  const TensorOp& anchor_op = task.stage(anchor).op;
+  std::vector<std::int64_t> target_extents;
+  target_extents.reserve(anchor_op.axes.size());
+  for (const Axis& a : anchor_op.axes) target_extents.push_back(a.extent);
+  const std::uint64_t hw_fp = hw.fingerprint();
+  const std::vector<double> hw_vec = hw.similarity_vector();
+  const double hw_peak = HardwareConfig::peak_flops_of(hw_vec);
+  const double target_points =
+      static_cast<double>(anchor_op.iter_space_points());
+  const int num_unroll = hw.num_unroll_options();
+
+  // Score every record of every sibling entry with the transfer formula
+  // (hw_sim * extent_sim, structure-signature gated).
+  struct Candidate {
+    const TuningRecord* record;
+    const std::string* serialized;
+    double score;
+    double est_time_ms;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [key, entry] : entries_) {
+    if (!(key < query_key) && !(query_key < key)) continue;  // L1 handled it
+    for (std::size_t i = 0; i < entry.records.size(); ++i) {
+      const TuningRecord& rec = entry.records[i];
+      double hw_sim = 1.0;
+      double speed_ratio = 1.0;  // source peak / target peak
+      if (rec.hardware_fp != hw_fp) {
+        hw_sim = HardwareConfig::similarity(rec.hw_sim, hw_vec);
+        if (hw_sim <= 0) continue;  // no similarity vector: cannot cross hw
+        double src_peak = HardwareConfig::peak_flops_of(rec.hw_sim);
+        if (src_peak > 0 && hw_peak > 0) speed_ratio = src_peak / hw_peak;
+      }
+      if (!rec.task_sig.empty() && rec.task_sig != sig) continue;
+      std::vector<std::int64_t> src_extents = record_anchor_extents(rec, anchor);
+      double ext_sim = extent_similarity(src_extents, target_extents);
+      if (ext_sim <= 0) continue;
+      double score = hw_sim * ext_sim;
+      if (score < opts_.min_score) continue;
+      double src_points = 1;
+      for (std::int64_t e : src_extents) src_points *= static_cast<double>(e);
+      double est = rec.time_ms * (target_points / src_points) * speed_ratio *
+                   opts_.time_penalty;
+      candidates.push_back({&rec, &entry.serialized[i], score, est});
+    }
+  }
+  if (candidates.empty()) return miss;
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.est_time_ms != b.est_time_ms) {
+                return a.est_time_ms < b.est_time_ms;
+              }
+              return *a.serialized < *b.serialized;
+            });
+
+  // Adapt the best-scored few; failures are dropped, not fatal.
+  struct Adapted {
+    const Candidate* cand;
+    Schedule schedule;
+  };
+  std::vector<Adapted> adapted;
+  const std::size_t rerank = static_cast<std::size_t>(opts_.rerank_k);
+  for (const Candidate& c : candidates) {
+    if (adapted.size() >= rerank) break;
+    std::string error;
+    Schedule s =
+        adapt_record_schedule(*c.record, ctx.sketches, num_unroll, &error);
+    if (s.sketch == nullptr) {
+      ++stats_.rejected;
+      HARL_LOG_DEBUG("kcache: L2 candidate for %s unusable: %s",
+                     task.name().c_str(), error.c_str());
+      continue;
+    }
+    adapted.push_back({&c, std::move(s)});
+  }
+  if (adapted.empty()) return miss;
+
+  // Cost-model re-rank: the pretrained GBDT scores the adapted schedules
+  // under the *query* hardware; without a model the best-scored match wins.
+  std::size_t winner = 0;
+  if (model_ != nullptr && model_->trained() &&
+      model_->num_features() == FeatureExtractor::kNumFeatures &&
+      adapted.size() > 1) {
+    FeatureExtractor fx(&hw);
+    std::vector<double> rows(adapted.size() * FeatureExtractor::kNumFeatures);
+    for (std::size_t i = 0; i < adapted.size(); ++i) {
+      fx.extract_into(adapted[i].schedule,
+                      rows.data() + i * FeatureExtractor::kNumFeatures);
+    }
+    std::vector<double> pred(adapted.size());
+    model_->predict_batch(rows.data(), adapted.size(), pred.data());
+    for (std::size_t i = 1; i < adapted.size(); ++i) {
+      if (pred[i] > pred[winner]) winner = i;  // ties keep the better match
+    }
+  }
+
+  ServeResult res;
+  res.tier = ServeTier::kL2;
+  res.schedule = std::move(adapted[winner].schedule);
+  res.est_time_ms = adapted[winner].cand->est_time_ms;
+  res.score = adapted[winner].cand->score;
+  res.record = *adapted[winner].cand->record;
+  return res;
+}
+
+std::size_t KnowledgeCache::num_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::size_t KnowledgeCache::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, entry] : entries_) n += entry.records.size();
+  return n;
+}
+
+ServeStats KnowledgeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void KnowledgeCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = ServeStats{};
+}
+
+Schedule golden_advice_schedule(const Sketch& sketch, int num_unroll_options) {
+  // A valid structure first (fixed seed: pure function of the sketch), then
+  // the heuristic defaults: even per-level tile shares, no unrolling, root
+  // compute-at.  Parallel depth keeps random_schedule's valid choice.
+  Rng rng(0x9e3779b97f4a7c15ULL);
+  Schedule base = random_schedule(sketch, num_unroll_options, rng);
+  Schedule advice = base;
+  for (StageSchedule& ss : advice.stages) {
+    for (TileVector& t : ss.tiles) {
+      std::vector<std::int64_t> even(t.factors.size(), 2);
+      t.factors = adapt_tile_factors(even, t.product());
+    }
+    ss.unroll_index = 0;
+    ss.compute_at = 0;
+  }
+  if (validate_schedule(advice, num_unroll_options).empty()) return advice;
+  return base;
+}
+
+std::string cache_to_json(const KnowledgeCache& cache) {
+  std::lock_guard<std::mutex> lock(cache.mu_);
+  std::string out;
+  out.reserve(256);
+  out += "{\"harl_kcache\":";
+  out += std::to_string(kKnowledgeCacheVersion);
+  out += ",\"topk\":";
+  out += std::to_string(cache.opts_.top_k);
+  out += ",\"min_score\":";
+  out += json::format_double(cache.opts_.min_score);
+  out += ",\"penalty\":";
+  out += json::format_double(cache.opts_.time_penalty);
+  out += ",\"rerank\":";
+  out += std::to_string(cache.opts_.rerank_k);
+  out += ",\"golden\":";
+  out += cache.opts_.golden_advice ? "true" : "false";
+  out += ",\"entries\":[";
+  bool first_entry = true;
+  for (const auto& [key, entry] : cache.entries_) {
+    if (!first_entry) out += ",";
+    first_entry = false;
+    out += "{\"net\":";
+    out += json::escape(key.network);
+    out += ",\"task\":";
+    out += json::escape(key.task);
+    out += ",\"hw\":";
+    out += std::to_string(key.hw_fp);
+    out += ",\"records\":[";
+    for (std::size_t i = 0; i < entry.serialized.size(); ++i) {
+      if (i > 0) out += ",";
+      out += entry.serialized[i];  // exact record_to_json bytes
+    }
+    out += "]}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool cache_from_json(const std::string& text, KnowledgeCache* out,
+                     std::string* error) {
+  json::ParseError perr;
+  json::Value doc = json::parse(text, &perr);
+  if (!perr.ok) {
+    *error = "cache parse error: " + perr.to_string();
+    return false;
+  }
+  if (!doc.is_object()) {
+    *error = "cache document is not an object";
+    return false;
+  }
+  const json::Value* ver = doc.find("harl_kcache");
+  if (ver == nullptr || !ver->is_number()) {
+    *error = "not a knowledge-cache file (missing harl_kcache)";
+    return false;
+  }
+  if (ver->as_int64() > kKnowledgeCacheVersion) {
+    *error = "incompatible cache version " + std::to_string(ver->as_int64());
+    return false;
+  }
+
+  KnowledgeCacheOptions opts;
+  if (const json::Value* v = doc.find("topk"); v != nullptr && v->is_number()) {
+    opts.top_k = static_cast<int>(v->as_int64(opts.top_k));
+  }
+  if (const json::Value* v = doc.find("min_score");
+      v != nullptr && v->is_number()) {
+    opts.min_score = v->as_double(opts.min_score);
+  }
+  if (const json::Value* v = doc.find("penalty");
+      v != nullptr && v->is_number()) {
+    opts.time_penalty = v->as_double(opts.time_penalty);
+  }
+  if (const json::Value* v = doc.find("rerank");
+      v != nullptr && v->is_number()) {
+    opts.rerank_k = static_cast<int>(v->as_int64(opts.rerank_k));
+  }
+  if (const json::Value* v = doc.find("golden"); v != nullptr && v->is_bool()) {
+    opts.golden_advice = v->as_bool();
+  }
+
+  // Validate every record before mutating *out.
+  std::vector<TuningRecord> records;
+  const json::Value* entries = doc.find("entries");
+  if (entries != nullptr) {
+    if (!entries->is_array()) {
+      *error = "cache field \"entries\" is not an array";
+      return false;
+    }
+    for (const json::Value& e : entries->items()) {
+      if (!e.is_object()) {
+        *error = "cache entry is not an object";
+        return false;
+      }
+      const json::Value* recs = e.find("records");
+      if (recs == nullptr || !recs->is_array()) {
+        *error = "cache entry without a \"records\" array";
+        return false;
+      }
+      for (const json::Value& r : recs->items()) {
+        TuningRecord rec;
+        std::string rerr;
+        if (!record_from_json(r.dump(), &rec, &rerr)) {
+          *error = "embedded record invalid: " + rerr;
+          return false;
+        }
+        records.push_back(std::move(rec));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(out->mu_);
+    out->opts_ = opts;
+    if (out->opts_.top_k < 1) out->opts_.top_k = 1;
+    if (out->opts_.rerank_k < 1) out->opts_.rerank_k = 1;
+    out->entries_.clear();
+    out->contexts_.clear();
+    for (const TuningRecord& rec : records) {
+      if (!(rec.time_ms > 0)) continue;
+      out->insert_locked(rec, record_to_json(rec));
+    }
+    out->stats_ = ServeStats{};  // a loaded cache starts with clean counters
+  }
+  return true;
+}
+
+bool save_cache(const KnowledgeCache& cache, const std::string& path,
+                std::string* error) {
+  std::string text = cache_to_json(cache);
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+    return false;
+  }
+  std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "short write to " + tmp;
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool load_cache(const std::string& path, KnowledgeCache* out,
+                std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return cache_from_json(text, out, error);
+}
+
+std::uint64_t cache_fingerprint(const KnowledgeCache& cache) {
+  std::string text = cache_to_json(cache);
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+}  // namespace harl

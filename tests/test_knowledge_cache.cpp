@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/tuning.hpp"
+#include "io/record_logger.hpp"
+#include "serve/cache_updater.hpp"
+#include "serve/knowledge_cache.hpp"
+#include "util/rng.hpp"
+#include "workloads/operators.hpp"
+
+namespace harl {
+namespace {
+
+/// RAII temp file.
+struct TempPath {
+  explicit TempPath(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~TempPath() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+/// A valid synthetic record of `graph` on `hw`: a random schedule of the
+/// first sketch, stamped with full transfer provenance.
+TuningRecord synth_record(const Subgraph& graph,
+                          const std::vector<Sketch>& sketches,
+                          const HardwareConfig& hw, const std::string& network,
+                          double time_ms, std::uint64_t seed) {
+  Rng rng(seed);
+  const Sketch& sk = sketches[rng.pick_index(sketches.size())];
+  Schedule s = random_schedule(sk, hw.num_unroll_options(), rng);
+  TuningRecord rec;
+  rec.network = network;
+  rec.task = graph.name();
+  rec.task_index = 0;
+  rec.hardware_fp = hw.fingerprint();
+  rec.policy = "test";
+  rec.seed = seed;
+  rec.sketch_id = sk.sketch_id;
+  rec.sketch_tag = sk.tag;
+  rec.stages = decisions_from_schedule(s);
+  rec.time_ms = time_ms;
+  rec.trial_index = static_cast<std::int64_t>(seed);
+  rec.task_sig = graph.structure_signature();
+  rec.hw_sim = hw.similarity_vector();
+  return rec;
+}
+
+TEST(KnowledgeCache, InsertDedupAndTopKEviction) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 64, 64);
+  std::vector<Sketch> sketches = generate_sketches(g);
+
+  KnowledgeCacheOptions opts;
+  opts.top_k = 3;
+  KnowledgeCache cache(opts);
+  std::vector<TuningRecord> recs;
+  for (int i = 0; i < 8; ++i) {
+    recs.push_back(synth_record(g, sketches, hw, "netA", 10.0 - i,
+                                static_cast<std::uint64_t>(i + 1)));
+  }
+  for (const TuningRecord& r : recs) EXPECT_TRUE(cache.insert(r));
+  // 8 inserted into a top-3 entry: 5 evicted, the 3 fastest kept.
+  EXPECT_EQ(cache.num_entries(), 1u);
+  EXPECT_EQ(cache.num_records(), 3u);
+  EXPECT_EQ(cache.stats().inserts, 8u);
+  EXPECT_EQ(cache.stats().evictions, 5u);
+
+  // A duplicate of a kept record is dropped, not double-counted.
+  EXPECT_FALSE(cache.insert(recs.back()));
+  EXPECT_EQ(cache.stats().duplicates, 1u);
+  // A record worse than every kept one bounces off the full entry.
+  EXPECT_FALSE(cache.insert(recs.front()));
+  EXPECT_EQ(cache.num_records(), 3u);
+
+  // The served best is the fastest record, regardless of insert order.
+  ServeResult res = cache.serve("netA", g, hw);
+  EXPECT_EQ(res.tier, ServeTier::kL1);
+  EXPECT_EQ(res.est_time_ms, recs.back().time_ms);
+}
+
+TEST(KnowledgeCache, ContentsAreInsertOrderIndependent) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 32, 48);
+  std::vector<Sketch> sketches = generate_sketches(g);
+
+  std::vector<TuningRecord> recs;
+  for (int i = 0; i < 12; ++i) {
+    // Duplicate times force the serialized-bytes tie-break to do the work.
+    recs.push_back(synth_record(g, sketches, hw, "netA", 5.0 + (i % 3),
+                                static_cast<std::uint64_t>(i + 1)));
+  }
+  KnowledgeCacheOptions opts;
+  opts.top_k = 4;
+  KnowledgeCache a(opts), b(opts);
+  for (const TuningRecord& r : recs) a.insert(r);
+  std::reverse(recs.begin(), recs.end());
+  for (const TuningRecord& r : recs) b.insert(r);
+  EXPECT_EQ(cache_to_json(a), cache_to_json(b));
+  EXPECT_EQ(cache_fingerprint(a), cache_fingerprint(b));
+}
+
+TEST(KnowledgeCache, SaveLoadByteIdentityFuzz) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  HardwareConfig xeon = HardwareConfig::xeon_6226r();
+  Subgraph g1 = make_gemm(64, 64, 64);
+  Subgraph g2 = make_gemm(128, 64, 32, 1, "gemm2");
+  std::vector<Sketch> sk1 = generate_sketches(g1);
+  std::vector<Sketch> sk2 = generate_sketches(g2);
+
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed * 977);
+    KnowledgeCacheOptions opts;
+    opts.top_k = 2 + static_cast<int>(seed % 3);
+    KnowledgeCache cache(opts);
+    for (int i = 0; i < 40; ++i) {
+      const bool first = rng.next_double() < 0.5;
+      const Subgraph& g = first ? g1 : g2;
+      const std::vector<Sketch>& sk = first ? sk1 : sk2;
+      const HardwareConfig& h = rng.next_double() < 0.5 ? hw : xeon;
+      std::string net = rng.next_double() < 0.5 ? "netA" : "netB";
+      cache.insert(synth_record(g, sk, h, net, 1.0 + rng.next_double() * 9.0,
+                                seed * 1000 + static_cast<std::uint64_t>(i)));
+    }
+    std::string bytes = cache_to_json(cache);
+    KnowledgeCache loaded;
+    std::string error;
+    ASSERT_TRUE(cache_from_json(bytes, &loaded, &error)) << error;
+    EXPECT_EQ(cache_to_json(loaded), bytes) << "seed " << seed;
+    EXPECT_EQ(loaded.options().top_k, opts.top_k);
+    EXPECT_EQ(loaded.num_records(), cache.num_records());
+
+    TempPath file("test_kcache_" + std::to_string(seed) + ".json");
+    ASSERT_TRUE(save_cache(cache, file.path, &error)) << error;
+    KnowledgeCache from_file;
+    ASSERT_TRUE(load_cache(file.path, &from_file, &error)) << error;
+    EXPECT_EQ(cache_to_json(from_file), bytes);
+  }
+}
+
+TEST(KnowledgeCache, LoadRejectsGarbageAndNewerVersions) {
+  KnowledgeCache cache;
+  std::string error;
+  EXPECT_FALSE(cache_from_json("not json", &cache, &error));
+  EXPECT_FALSE(cache_from_json("[1,2,3]", &cache, &error));
+  EXPECT_FALSE(cache_from_json("{\"harl_kcache\":999,\"entries\":[]}", &cache,
+                               &error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+  EXPECT_FALSE(cache_from_json(
+      "{\"harl_kcache\":1,\"entries\":[{\"records\":[{\"v\":1}]}]}", &cache,
+      &error));
+}
+
+TEST(KnowledgeCache, L2ScheduleBelongsToTheQueryTask) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  // Knowledge about one shape; queries about a structural sibling (2x rows).
+  Subgraph src = make_gemm(64, 64, 64);
+  Subgraph sibling = make_gemm(128, 64, 64, 1, "gemm_big");
+  std::vector<Sketch> sketches = generate_sketches(src);
+
+  KnowledgeCache cache;
+  for (int i = 0; i < 6; ++i) {
+    cache.insert(synth_record(src, sketches, hw, "netA", 2.0 + i,
+                              static_cast<std::uint64_t>(i + 1)));
+  }
+  ServeResult res = cache.serve("netB", sibling, hw);
+  ASSERT_EQ(res.tier, ServeTier::kL2);
+  // The adapted schedule is rebuilt against the *query* task: its graph is
+  // the sibling (not the source), it validates there, and its tile products
+  // match the sibling's extents — never the source's.
+  ASSERT_NE(res.schedule.sketch, nullptr);
+  EXPECT_EQ(res.schedule.graph().name(), sibling.name());
+  EXPECT_TRUE(validate_schedule(res.schedule, hw.num_unroll_options()).empty());
+  const TensorOp& op = sibling.stage(sibling.anchor_stage()).op;
+  const StageSchedule& anchor = res.schedule.stage(sibling.anchor_stage());
+  ASSERT_EQ(anchor.tiles.size(), op.axes.size());
+  for (std::size_t a = 0; a < anchor.tiles.size(); ++a) {
+    EXPECT_EQ(anchor.tiles[a].product(), op.axes[a].extent);
+  }
+  // The claimed source record really is from the source task.
+  EXPECT_EQ(res.record.task, src.name());
+}
+
+TEST(KnowledgeCache, L2RespectsTheStructureGate) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph src = make_gemm(64, 64, 64);
+  Subgraph conv = make_single_op_subgraph(
+      make_conv2d_op(1, 16, 16, 8, 8, 3, 1, 1));
+  std::vector<Sketch> sketches = generate_sketches(src);
+
+  KnowledgeCacheOptions opts;
+  opts.golden_advice = false;
+  KnowledgeCache cache(opts);
+  cache.insert(synth_record(src, sketches, hw, "netA", 2.0, 1));
+  // A conv query must not be served gemm knowledge: signatures differ.
+  ServeResult res = cache.serve("netB", conv, hw);
+  EXPECT_EQ(res.tier, ServeTier::kMiss);
+  EXPECT_EQ(res.schedule.sketch, nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(KnowledgeCache, GoldenAdviceIsDeterministicAndValid) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 64, 64);
+  KnowledgeCache a, b;  // both empty: cold miss
+  ServeResult ra = a.serve("net", g, hw);
+  ServeResult rb = b.serve("net", g, hw);
+  ASSERT_EQ(ra.tier, ServeTier::kL3);
+  ASSERT_EQ(rb.tier, ServeTier::kL3);
+  EXPECT_TRUE(validate_schedule(ra.schedule, hw.num_unroll_options()).empty());
+  // Two cold servers give the same golden advice.
+  EXPECT_EQ(ra.schedule.fingerprint(), rb.schedule.fingerprint());
+  EXPECT_EQ(a.stats().l3_hits, 1u);
+}
+
+TEST(KnowledgeCache, UpdaterCallbackServesNewBestWithinOnePeriod) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 64, 64);
+  Network net;
+  net.name = "kc_net";
+  net.subgraphs.push_back(g);
+
+  KnowledgeCache cache;
+  TempPath file("test_kcache_updater.json");
+  CacheUpdateOptions copts;
+  copts.save_period_rounds = 1;  // republish every round
+  copts.save_path = file.path;
+  KnowledgeCacheUpdater updater(&cache, copts);
+
+  SearchOptions opts = quick_options(PolicyKind::kHarl, 17);
+  opts.measures_per_round = 5;
+  TuningSession session(net, hw, opts);
+  session.add_callback(&updater);
+  session.run(60);
+
+  EXPECT_GT(updater.records_folded(), 0u);
+  EXPECT_GT(updater.saves(), 0u);
+  EXPECT_EQ(updater.save_errors(), 0u);
+
+  // The cache answers with the session's best — no search, same schedule.
+  ServeResult res = cache.serve(net.name, g, hw);
+  ASSERT_EQ(res.tier, ServeTier::kL1);
+  EXPECT_EQ(res.est_time_ms, session.task_best_ms(0));
+
+  // The periodically-published file holds the same knowledge: a sibling
+  // serving process that loads it gets the same L1 answer (the last publish
+  // was at most one period — one round — before the best was logged, and
+  // save_now() on session end flushes the tail).
+  updater.save_now();
+  KnowledgeCache reloaded;
+  std::string error;
+  ASSERT_TRUE(load_cache(file.path, &reloaded, &error)) << error;
+  ServeResult res2 = reloaded.serve(net.name, g, hw);
+  ASSERT_EQ(res2.tier, ServeTier::kL1);
+  EXPECT_EQ(record_to_json(res2.record), record_to_json(res.record));
+}
+
+}  // namespace
+}  // namespace harl
