@@ -127,8 +127,13 @@ int cmd_harvest(const CommonArgs& args) {
 
   ExperienceStore store;
   for (const std::string& log : args.logs) {
-    std::size_t added = store.add_log(log);
+    std::vector<RecordReadError> errors;
+    std::size_t added = store.add_log(log, &errors);
     std::printf("  %-40s %zu records\n", log.c_str(), added);
+    for (const RecordReadError& e : errors) {
+      std::fprintf(stderr, "%s:%zu: skipped: %s\n", log.c_str(), e.line_number,
+                   e.message.c_str());
+    }
   }
   HarvestStats stats;
   Gbdt model = store.pretrain(hw, args.gbdt, make_builtin_resolver(), &stats);
@@ -165,6 +170,10 @@ int cmd_compact(const CommonArgs& args) {
     std::vector<RecordReadError> errors;
     std::vector<TuningRecord> r = read_records(log, &errors);
     skipped += errors.size();
+    for (const RecordReadError& e : errors) {
+      std::fprintf(stderr, "%s:%zu: skipped: %s\n", log.c_str(), e.line_number,
+                   e.message.c_str());
+    }
     for (TuningRecord& rec : r) records.push_back(std::move(rec));
   }
   CompactStats stats;
@@ -213,6 +222,10 @@ int cmd_stats(const CommonArgs& args) {
       g.max_trial = std::max(g.max_trial, r.trial_index);
     }
     skipped += errors.size();
+    for (const RecordReadError& e : errors) {
+      std::fprintf(stderr, "%s:%zu: skipped: %s\n", log.c_str(), e.line_number,
+                   e.message.c_str());
+    }
   }
   Table table("record log stats");
   table.set_header({"network / task / policy / seed", "records", "cached",

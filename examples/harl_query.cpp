@@ -163,8 +163,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cache_fingerprint(cache)));
   }
   for (const std::string& log : logs) {
-    std::size_t added = cache.insert_log(log);
+    // Fold record by record instead of insert_log, so malformed lines get a
+    // path:line diagnostic here (the cache itself rejects failed records).
+    std::vector<RecordReadError> errors;
+    std::size_t added = 0;
+    for (const TuningRecord& rec : read_records(log, &errors)) {
+      if (cache.insert(rec)) ++added;
+    }
     std::printf("  %-40s +%zu records\n", log.c_str(), added);
+    for (const RecordReadError& e : errors) {
+      std::fprintf(stderr, "%s:%zu: skipped: %s\n", log.c_str(), e.line_number,
+                   e.message.c_str());
+    }
   }
   if (!model_path.empty()) {
     auto model = std::make_shared<Gbdt>();

@@ -23,6 +23,14 @@
 ///       [--refresh-out=PATH]    refreshed-model publish target (default:
 ///                               <log>.model.json, else refresh.model.json)
 ///       [--stop-after-rounds=N] simulate a crash: _Exit(3) after N rounds
+///       [--inject-faults=SPEC]  deterministic measurement faults; SPEC is
+///                               `none` or comma-separated terms
+///                               transient=P|timeout=P|garbage=P|crash=N,
+///                               optionally `:SEED` (e.g.
+///                               --inject-faults=transient=0.1,crash=120:77).
+///                               crash=N _Exit(3)s when trial N is assigned;
+///                               drop the crash= term to resume, exactly like
+///                               --stop-after-rounds
 ///       [--dump-rounds=PATH]    bit-exact round log (hexfloat) for diffing
 ///       [--help]                print this usage and exit
 ///
@@ -30,6 +38,9 @@
 ///   ./build/tune_network --policy=HARL --log=run.jsonl --stop-after-rounds=6
 ///   ./build/tune_network --policy=HARL --log=run.jsonl   # resumes, finishes
 /// The resumed round log is byte-identical to an uninterrupted run's.
+/// The same walkthrough holds under --inject-faults with the same SPEC:SEED:
+/// failures land on the same trials, so the faulty resume is bit-identical
+/// too (the chaos gate in CI proves both).
 
 #include <cstdio>
 #include <cstdlib>
@@ -56,6 +67,8 @@ void print_usage(std::FILE* out) {
       "  [--refresh-period=N]    refit + republish experience model every N rounds\n"
       "  [--refresh-out=PATH]    refreshed-model publish target\n"
       "  [--stop-after-rounds=N] simulate a crash: _Exit(3) after N rounds\n"
+      "  [--inject-faults=SPEC]  deterministic faults: none or\n"
+      "                          transient=P,timeout=P,garbage=P,crash=N[:SEED]\n"
       "  [--dump-rounds=PATH]    bit-exact round log (hexfloat) for diffing\n"
       "  [--help]                print this usage and exit\n");
 }
@@ -119,6 +132,7 @@ int main(int argc, char** argv) {
   std::string dump_path;
   std::string model_path;
   std::string refresh_out;
+  std::string fault_spec_text;
   bool verify_resume_flag = false;
   bool async_callbacks = false;
   int refresh_period = 0;
@@ -153,11 +167,23 @@ int main(int argc, char** argv) {
       dump_path = v;
     } else if (flag_value(argv[i], "--stop-after-rounds", &v)) {
       stop_after_rounds = std::atoi(v);
+    } else if (flag_value(argv[i], "--inject-faults", &v)) {
+      fault_spec_text = v;
     } else if (argv[i][0] != '-') {
       trials = std::atoll(argv[i]);  // legacy positional [trials]
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       print_usage(stderr);
+      return 1;
+    }
+  }
+
+  FaultSpec fault_spec;
+  if (!fault_spec_text.empty()) {
+    std::string error;
+    if (!FaultSpec::parse(fault_spec_text, &fault_spec, &error)) {
+      std::fprintf(stderr, "bad --inject-faults spec \"%s\": %s\n",
+                   fault_spec_text.c_str(), error.c_str());
       return 1;
     }
   }
@@ -168,6 +194,11 @@ int main(int argc, char** argv) {
     net = make_network(network_name, 1);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
+  if (fault_spec.any() && policy_name.empty()) {
+    std::fprintf(stderr, "--inject-faults requires --policy=NAME mode\n");
     return 1;
   }
 
@@ -222,9 +253,35 @@ int main(int argc, char** argv) {
     }
 
     TuningSession session(net, cpu, opts);
+    // The injector is installed only when the spec injects something, so a
+    // `--inject-faults=none:SEED` invocation runs the exact fault-free code
+    // path and its outputs stay byte-identical to a run without the flag.
+    std::unique_ptr<FaultInjector> injector;
+    if (fault_spec.any()) {
+      injector = std::make_unique<FaultInjector>(fault_spec);
+      session.measurer().set_fault_injector(injector.get());
+      if (fault_spec.crash_at_trial >= 0) {
+        // Hard crash, no unwinding: the log keeps only fully committed
+        // rounds, and the next invocation (same spec minus crash=) resumes.
+        session.measurer().set_crash_hook([](std::int64_t) { std::_Exit(3); });
+      }
+    }
     RecordLogger logger;
     CrashAfterRounds crasher(stop_after_rounds);
     if (!log_path.empty()) {
+      // Self-heal first: a corrupt mid-file line would otherwise end the
+      // replay early and fork the run.  The original is kept as evidence.
+      SalvageResult sv = salvage_log(log_path);
+      if (sv.salvaged) {
+        std::fprintf(stderr,
+                     "%s: salvaged: kept %zu lines, dropped %zu corrupt "
+                     "(original preserved at %s)\n",
+                     log_path.c_str(), sv.lines_kept, sv.lines_dropped,
+                     sv.quarantine_path.c_str());
+      } else if (!sv.error.empty()) {
+        std::fprintf(stderr, "%s: salvage failed: %s\n", log_path.c_str(),
+                     sv.error.c_str());
+      }
       std::vector<RecordReadError> read_errors;
       std::vector<TuningRecord> records = read_records(log_path, &read_errors);
       if (verify_resume_flag) {
@@ -279,8 +336,8 @@ int main(int argc, char** argv) {
                     static_cast<long long>(st.replay_trials));
       }
       for (const RecordReadError& e : read_errors) {
-        std::fprintf(stderr, "  skipped log line %zu: %s\n", e.line_number,
-                     e.message.c_str());
+        std::fprintf(stderr, "%s:%zu: skipped: %s\n", log_path.c_str(),
+                     e.line_number, e.message.c_str());
       }
     }
     if (refresher != nullptr) session.add_callback(refresher.get());
@@ -297,6 +354,24 @@ int main(int argc, char** argv) {
     std::printf("trials used: %lld (replayed from log: %lld)\n",
                 static_cast<long long>(session.measurer().trials_used()),
                 static_cast<long long>(session.measurer().replayed()));
+    const Measurer& m = session.measurer();
+    if (injector != nullptr || m.failed() > 0) {
+      std::printf("failed measurements: %lld (%lld retries, %lld recovered, "
+                  "%zu schedules quarantined, %lld quarantine hits)\n",
+                  static_cast<long long>(m.failed()),
+                  static_cast<long long>(m.retries()),
+                  static_cast<long long>(m.recovered()),
+                  m.quarantined_schedules(),
+                  static_cast<long long>(m.quarantine_hits()));
+    }
+    if (injector != nullptr) {
+      std::printf("injected faults (%s): %llu transient, %llu timeout, "
+                  "%llu garbage\n",
+                  injector->spec().to_string().c_str(),
+                  static_cast<unsigned long long>(injector->injected_transient()),
+                  static_cast<unsigned long long>(injector->injected_timeout()),
+                  static_cast<unsigned long long>(injector->injected_garbage()));
+    }
     if (!log_path.empty()) {
       std::printf("record log: %s (+%zu records this run)\n", log_path.c_str(),
                   logger.written());

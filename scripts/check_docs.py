@@ -17,6 +17,11 @@ Two checks, both against the working tree (no build needed):
    - every header flag is parsed (stale docs / removed flag),
    - every parsed flag appears in README.md (stale README).
 
+3. Record-schema drift: every top-level field the record serializer writes
+   (``obj.set("key", ...)`` in ``src/io/record.cpp``) must be documented in
+   ``docs/RECORD_SCHEMA.md`` (as a backticked ``key``).  Per-stage keys use
+   a different receiver and are covered by the ``stages`` row.
+
 Exit 0 when clean, 1 with a per-violation report otherwise.
 """
 
@@ -104,16 +109,34 @@ def check_flag_drift(errors):
             errors.append(f"README.md: flag {flag} of {rel} is undocumented")
 
 
+RECORD_KEY = re.compile(r"obj\.set\(\"(\w+)\"")
+
+
+def check_record_schema(errors):
+    with open(os.path.join(REPO, "src", "io", "record.cpp"), encoding="utf-8") as f:
+        keys = set(RECORD_KEY.findall(f.read()))
+    with open(os.path.join(REPO, "docs", "RECORD_SCHEMA.md"), encoding="utf-8") as f:
+        doc = f.read()
+    for key in sorted(keys):
+        if f"`{key}`" not in doc:
+            errors.append(
+                f"docs/RECORD_SCHEMA.md: record field `{key}` "
+                "(src/io/record.cpp) is undocumented"
+            )
+
+
 def main():
     errors = []
     check_links(errors)
     check_flag_drift(errors)
+    check_record_schema(errors)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)")
         for e in errors:
             print(f"  {e}")
         return 1
-    print("check_docs: markdown links and CLI flag docs are consistent")
+    print("check_docs: markdown links, CLI flag docs, and the record schema "
+          "are consistent")
     return 0
 
 

@@ -179,6 +179,17 @@ FleetReport FleetTuner::run() {
       // Warm start: replay whatever a previous run already measured, then
       // append the new records after the replayed ones.
       std::string path = log_path(static_cast<int>(i));
+      // Self-heal before resuming: a corrupt log would otherwise poison the
+      // replay table.  The valid prefix survives; evidence is quarantined.
+      SalvageResult sv = salvage_log(path);
+      if (sv.salvaged) {
+        HARL_LOG_WARN("fleet: salvaged %s: kept %zu lines, dropped %zu (original -> %s)",
+                      path.c_str(), sv.lines_kept, sv.lines_dropped,
+                      sv.quarantine_path.c_str());
+      } else if (!sv.error.empty()) {
+        HARL_LOG_WARN("fleet: salvage of %s failed: %s", path.c_str(),
+                      sv.error.c_str());
+      }
       ResumeStats stats = resume_session(*sessions_[i], path);
       auto logger = std::make_unique<RecordLogger>();
       if (logger->open(path, /*append=*/true)) {
@@ -207,6 +218,13 @@ FleetReport FleetTuner::run() {
     r.rounds = s.scheduler().round_log().size();
     r.replayed_trials = s.measurer().replayed();
     r.records_logged = loggers_[i] != nullptr ? loggers_[i]->written() : 0;
+    r.failed_measurements = s.measurer().failed();
+    r.quarantined = s.measurer().quarantined_schedules();
+    if (const AsyncCallbackBus* bus = s.scheduler().async_bus()) {
+      r.bus_dropped = bus->dropped();
+      r.bus_rejected = bus->rejected();
+      r.bus_consumer_errors = bus->consumer_errors();
+    }
   };
 
   if (fleet_threads <= 1) {
@@ -238,14 +256,28 @@ FleetReport FleetTuner::run() {
 std::string FleetReport::to_string() const {
   Table t("fleet tuning report");
   t.set_header({"network", "tasks", "trials", "replayed", "cache_hits",
-                "latency_ms", "wall_s"});
+                "failed", "quarantined", "bus d/r/e", "latency_ms", "wall_s"});
+  auto bus_cell = [](std::uint64_t d, std::uint64_t r, std::uint64_t e) {
+    return std::to_string(d) + "/" + std::to_string(r) + "/" + std::to_string(e);
+  };
   std::int64_t total_replayed = 0;
+  std::int64_t total_failed = 0;
+  std::size_t total_quarantined = 0;
+  std::uint64_t bus_d = 0, bus_r = 0, bus_e = 0;
   for (const FleetNetworkResult& r : networks) {
     t.add(r.name, r.num_tasks, r.trials_used, r.replayed_trials, r.cache_hits,
+          r.failed_measurements, r.quarantined,
+          bus_cell(r.bus_dropped, r.bus_rejected, r.bus_consumer_errors),
           r.latency_ms, r.wall_seconds);
     total_replayed += r.replayed_trials;
+    total_failed += r.failed_measurements;
+    total_quarantined += r.quarantined;
+    bus_d += r.bus_dropped;
+    bus_r += r.bus_rejected;
+    bus_e += r.bus_consumer_errors;
   }
-  t.add("TOTAL", "", total_trials, total_replayed, total_cache_hits, "",
+  t.add("TOTAL", "", total_trials, total_replayed, total_cache_hits,
+        total_failed, total_quarantined, bus_cell(bus_d, bus_r, bus_e), "",
         wall_seconds);
   return t.to_string();
 }

@@ -43,6 +43,11 @@ struct FleetNetworkResult {
   std::size_t rounds = 0;       ///< completed scheduler rounds
   std::int64_t replayed_trials = 0;  ///< trials served from a warm-start log
   std::size_t records_logged = 0;    ///< records appended to the shared log dir
+  std::int64_t failed_measurements = 0;  ///< trials that ended in a failed state
+  std::size_t quarantined = 0;       ///< schedules quarantined after repeat failures
+  std::uint64_t bus_dropped = 0;     ///< async-bus events evicted (kDropOldest)
+  std::uint64_t bus_rejected = 0;    ///< async-bus events rejected (kFail)
+  std::uint64_t bus_consumer_errors = 0;  ///< consumer exceptions swallowed by the bus
 };
 
 /// Aggregated outcome of `FleetTuner::run`.

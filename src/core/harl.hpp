@@ -34,6 +34,7 @@
 #include "exp/refresh.hpp"
 #include "exp/transfer.hpp"
 #include "features/feature_extractor.hpp"
+#include "hwsim/fault_injector.hpp"
 #include "hwsim/hardware_config.hpp"
 #include "hwsim/measure_cache.hpp"
 #include "hwsim/measurer.hpp"
@@ -45,6 +46,7 @@
 #include "io/record_io.hpp"
 #include "io/record_logger.hpp"
 #include "io/resume.hpp"
+#include "io/safe_file.hpp"
 #include "ir/subgraph.hpp"
 #include "ir/tensor_op.hpp"
 #include "rl/ppo.hpp"

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "io/json.hpp"
+#include "io/safe_file.hpp"
 
 namespace harl {
 
@@ -225,38 +226,22 @@ std::uint64_t gbdt_fingerprint(const Gbdt& model) {
   return h == 0 ? 1 : h;
 }
 
-bool save_gbdt(const Gbdt& model, const std::string& path, std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
-    return false;
-  }
-  std::string text = gbdt_to_json(model);
-  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok && error != nullptr) *error = "short write to " + path;
-  return ok;
+bool save_gbdt(const Gbdt& model, const std::string& path, std::string* error,
+               bool fsync) {
+  return atomic_write_file(path, with_checksum_footer(gbdt_to_json(model)),
+                           fsync, error);
 }
 
 bool load_gbdt(const std::string& path, Gbdt* out, std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
   std::string text;
-  char buf[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  bool read_ok = std::ferror(f) == 0;
-  std::fclose(f);
-  if (!read_ok) {
-    if (error != nullptr) *error = "read error on " + path;
+  if (!read_text_file(path, &text, error)) return false;
+  std::string reason;
+  if (!strip_checksum_footer(&text, &reason)) {
+    if (error != nullptr) *error = path + ": " + reason;
     return false;
   }
-  std::string parse_error;
-  if (!gbdt_from_json(text, out, &parse_error)) {
-    if (error != nullptr) *error = path + ": " + parse_error;
+  if (!gbdt_from_json(text, out, &reason)) {
+    if (error != nullptr) *error = path + ": " + reason;
     return false;
   }
   return true;

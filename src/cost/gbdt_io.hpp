@@ -35,10 +35,15 @@ std::string gbdt_to_json(const Gbdt& model);
 /// array lengths); `*out` is untouched on failure.
 bool gbdt_from_json(const std::string& text, Gbdt* out, std::string* error);
 
-/// File convenience wrappers.  `error` (optional) receives the reason on
-/// failure (I/O or parse).
+/// File convenience wrappers.  `save_gbdt` publishes atomically (tmp +
+/// rename) and appends a CRC-32 footer line (`safe_file.hpp`); with `fsync`
+/// the publish is also durable across power loss.  `load_gbdt` verifies and
+/// strips the footer — a truncated or bit-flipped model file is rejected,
+/// never half-loaded.  The footer lives at the file level only:
+/// `gbdt_to_json`/`gbdt_fingerprint` are unchanged.  `error` (optional)
+/// receives a path-prefixed reason on failure (I/O, checksum, or parse).
 bool save_gbdt(const Gbdt& model, const std::string& path,
-               std::string* error = nullptr);
+               std::string* error = nullptr, bool fsync = false);
 bool load_gbdt(const std::string& path, Gbdt* out, std::string* error = nullptr);
 
 /// Stable identity of a fitted ensemble: FNV-1a over its canonical

@@ -38,7 +38,13 @@ std::vector<TuningRecord> compact_records(const std::vector<TuningRecord>& recor
     (void)key;
     // Best-k by measured time; ties keep the earlier record, so the record
     // `apply_history_best` would pick (first minimum) always survives.
-    std::vector<std::size_t> by_time = idx;
+    // Failed records log time_ms 0 and would otherwise outrank every real
+    // measurement — they may only survive through the recency window.
+    std::vector<std::size_t> by_time;
+    by_time.reserve(idx.size());
+    for (std::size_t i : idx) {
+      if (records[i].fail.empty() && records[i].time_ms > 0) by_time.push_back(i);
+    }
     std::stable_sort(by_time.begin(), by_time.end(), [&](std::size_t a, std::size_t b) {
       return records[a].time_ms < records[b].time_ms;
     });

@@ -52,10 +52,16 @@ TaskResolver make_builtin_resolver() {
 }
 
 std::size_t ExperienceStore::add_log(const std::string& path) {
-  std::vector<RecordReadError> errors;
-  std::vector<TuningRecord> records = read_records(path, &errors);
+  return add_log(path, nullptr);
+}
+
+std::size_t ExperienceStore::add_log(const std::string& path,
+                                     std::vector<RecordReadError>* errors) {
+  std::vector<RecordReadError> local;
+  std::vector<TuningRecord> records = read_records(path, &local);
   ++logs_read_;
-  lines_skipped_ += errors.size();
+  lines_skipped_ += local.size();
+  if (errors != nullptr) *errors = std::move(local);
   std::size_t added = records.size();
   for (TuningRecord& r : records) records_.push_back(std::move(r));
   return added;
@@ -101,7 +107,8 @@ ExperienceDataset ExperienceStore::build_dataset(const HardwareConfig& hw,
   std::map<GroupKey, std::vector<std::size_t>> groups;
   for (std::size_t i : order) {
     const TuningRecord& r = records_[i];
-    if (!(r.time_ms > 0)) continue;
+    // Failed and timeless records teach nothing; keep faults out of training.
+    if (!(r.time_ms > 0) || !r.fail.empty()) continue;
     groups[{r.network, r.task, r.hardware_fp}].push_back(i);
   }
 

@@ -70,8 +70,12 @@ struct ExperienceDataset {
 class ExperienceStore {
  public:
   /// Streams one JSONL log in tolerantly (missing file = 0 records, not an
-  /// error, matching `read_records`).  Returns the records added.
+  /// error, matching `read_records`).  Returns the records added.  The
+  /// overload surfaces the skipped lines (position + reason) so CLI callers
+  /// can report them instead of silently counting.
   std::size_t add_log(const std::string& path);
+  std::size_t add_log(const std::string& path,
+                      std::vector<RecordReadError>* errors);
 
   void add_records(const std::vector<TuningRecord>& records);
 

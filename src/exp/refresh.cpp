@@ -13,20 +13,14 @@ namespace harl {
 
 namespace {
 
-/// Write `model` to `path` atomically: a temp file in the same directory is
+/// Write `model` to `path` atomically: `save_gbdt` publishes via a temp file
 /// renamed over the target, so a concurrent reader (a sibling session
 /// loading `SearchOptions::experience_model`) sees either the previous
-/// complete model or the new complete model, never a torn file.
-bool publish_atomic(const Gbdt& model, const std::string& path,
+/// complete model or the new complete model, never a torn file.  With
+/// `fsync` the publish is also durable across power loss.
+bool publish_atomic(const Gbdt& model, const std::string& path, bool fsync,
                     std::string* error) {
-  std::string tmp = path + ".tmp";
-  if (!save_gbdt(model, tmp, error)) return false;
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return save_gbdt(model, path, error, fsync);
 }
 
 }  // namespace
@@ -95,7 +89,7 @@ bool ExperienceRefresher::refresh_locked() {
   if (!opts_.publish_path.empty()) {
     auto publish = [&](const std::string& path) {
       std::string error;
-      if (!publish_atomic(model, path, &error)) {
+      if (!publish_atomic(model, path, opts_.fsync_publish, &error)) {
         ++publish_errors_;
         HARL_LOG_WARN("experience refresh: publish failed: %s", error.c_str());
         return false;

@@ -41,6 +41,11 @@ struct RefreshOptions {
   /// segment stamped with an older `xm` can still be verified/resumed
   /// against the exact model that produced it after later republishes.
   bool snapshot_history = false;
+  /// fsync each republished model (and its directory entry) before the
+  /// rename lands, making the publish durable across power loss.  Off by
+  /// default: mid-run refreshes are reproducible from the logs, so most
+  /// callers prefer the publish latency.
+  bool fsync_publish = false;
   /// Learner shape when starting cold (no base model).
   GbdtConfig gbdt;
 };

@@ -185,7 +185,7 @@ TransferStats transfer_history_best(TuningSession& session,
     std::vector<Candidate> candidates;
     for (std::size_t r = 0; r < records.size(); ++r) {
       const TuningRecord& rec = records[r];
-      if (!(rec.time_ms > 0)) continue;
+      if (!(rec.time_ms > 0) || !rec.fail.empty()) continue;
       bool exact = rec.task == name && rec.hardware_fp == hw_fp;
       if (exact) {
         candidates.push_back({&rec, r, true, 2.0, rec.time_ms});

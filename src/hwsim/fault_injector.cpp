@@ -1,0 +1,169 @@
+#include "hwsim/fault_injector.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/rng.hpp"
+
+namespace harl {
+namespace {
+
+/// Splitmix-style mix of the fault coordinates into one Rng seed.  The odd
+/// multipliers keep neighbouring trial indices / attempts decorrelated.
+std::uint64_t mix_seed(std::uint64_t seed, std::int64_t trial_index,
+                       std::uint64_t schedule_fp, int attempt) {
+  std::uint64_t x = seed;
+  x ^= 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(trial_index) + 1);
+  x ^= schedule_fp * 0xbf58476d1ce4e5b9ULL;
+  x ^= (static_cast<std::uint64_t>(attempt) + 1) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Format a rate without trailing zeros so to_string round-trips compactly.
+std::string rate_to_string(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+bool parse_rate(const std::string& value, double* out) {
+  char* end = nullptr;
+  double v = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty()) return false;
+  if (!(v >= 0) || !(v <= 1)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kGarbage: return "garbage";
+  }
+  return "";
+}
+
+std::string FaultSpec::to_string() const {
+  if (!any()) return "none:" + std::to_string(seed);
+  std::string out;
+  auto term = [&out](const char* key, const std::string& value) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  };
+  if (transient > 0) term("transient", rate_to_string(transient));
+  if (timeout > 0) term("timeout", rate_to_string(timeout));
+  if (garbage > 0) term("garbage", rate_to_string(garbage));
+  if (crash_at_trial >= 0) term("crash", std::to_string(crash_at_trial));
+  return out + ":" + std::to_string(seed);
+}
+
+bool FaultSpec::parse(const std::string& text, FaultSpec* out,
+                      std::string* error) {
+  FaultSpec spec;
+  std::string body = text;
+  std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    std::string seed_str = text.substr(colon + 1);
+    char* end = nullptr;
+    unsigned long long seed = std::strtoull(seed_str.c_str(), &end, 10);
+    if (seed_str.empty() || end == nullptr || *end != '\0') {
+      if (error != nullptr) *error = "bad fault seed \"" + seed_str + "\"";
+      return false;
+    }
+    spec.seed = static_cast<std::uint64_t>(seed);
+    body = text.substr(0, colon);
+  }
+  if (body != "none") {
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+      std::size_t comma = body.find(',', pos);
+      std::string term = body.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      pos = comma == std::string::npos ? body.size() + 1 : comma + 1;
+      std::size_t eq = term.find('=');
+      if (term.empty() || eq == std::string::npos) {
+        if (error != nullptr) {
+          *error = "bad fault term \"" + term +
+                   "\" (want transient=P, timeout=P, garbage=P, or crash=N)";
+        }
+        return false;
+      }
+      std::string key = term.substr(0, eq);
+      std::string value = term.substr(eq + 1);
+      if (key == "crash") {
+        char* end = nullptr;
+        long long n = std::strtoll(value.c_str(), &end, 10);
+        if (value.empty() || end == nullptr || *end != '\0' || n < 0) {
+          if (error != nullptr) *error = "bad crash trial \"" + value + "\"";
+          return false;
+        }
+        spec.crash_at_trial = n;
+      } else if (key == "transient" || key == "timeout" || key == "garbage") {
+        double rate = 0;
+        if (!parse_rate(value, &rate)) {
+          if (error != nullptr) {
+            *error = "bad " + key + " rate \"" + value + "\" (want [0, 1])";
+          }
+          return false;
+        }
+        (key == "transient" ? spec.transient
+                            : key == "timeout" ? spec.timeout : spec.garbage) =
+            rate;
+      } else {
+        if (error != nullptr) *error = "unknown fault kind \"" + key + "\"";
+        return false;
+      }
+    }
+    if (spec.transient + spec.timeout + spec.garbage > 1.0) {
+      if (error != nullptr) *error = "fault rates sum past 1";
+      return false;
+    }
+  }
+  *out = spec;
+  return true;
+}
+
+FaultKind FaultInjector::decide(std::int64_t trial_index,
+                                std::uint64_t schedule_fp, int attempt) const {
+  if (spec_.transient <= 0 && spec_.timeout <= 0 && spec_.garbage <= 0) {
+    return FaultKind::kNone;
+  }
+  Rng rng(mix_seed(spec_.seed, trial_index, schedule_fp, attempt));
+  double u = rng.next_double();
+  if (u < spec_.transient) {
+    transient_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kTransient;
+  }
+  if (u < spec_.transient + spec_.timeout) {
+    timeout_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kTimeout;
+  }
+  if (u < spec_.transient + spec_.timeout + spec_.garbage) {
+    garbage_.fetch_add(1, std::memory_order_relaxed);
+    return FaultKind::kGarbage;
+  }
+  return FaultKind::kNone;
+}
+
+double FaultInjector::garbage_latency(std::int64_t trial_index,
+                                      std::uint64_t schedule_fp,
+                                      int attempt) const {
+  Rng rng(mix_seed(spec_.seed ^ 0x6a09e667f3bcc909ULL, trial_index,
+                   schedule_fp, attempt));
+  switch (rng.next_below(4)) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return std::numeric_limits<double>::infinity();
+    case 2: return -1.0;
+    default: return 0.0;
+  }
+}
+
+}  // namespace harl

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// Seeded, deterministic fault injection for the measurement stage.
+/// Invariant: every fault decision is a pure function of
+/// `(fault_seed, trial_index, schedule_fingerprint, attempt)`, so a faulty
+/// run resumes and replays bit-identically, and two runs with the same spec
+/// and seed fail in exactly the same places.
+/// Collaborators: Measurer (injection point), tune_network --inject-faults.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace harl {
+
+/// What the injector decided to do to one measurement attempt.
+enum class FaultKind {
+  kNone = 0,
+  kTransient,  ///< simulator call fails outright (spurious error)
+  kTimeout,    ///< simulator hangs; the watchdog reclaims the slot
+  kGarbage,    ///< simulator returns a non-finite / non-positive latency
+};
+
+/// Fault rates and the crash point, parsed from
+/// `--inject-faults=transient=0.1,timeout=0.05,garbage=0.02,crash=120:SEED`.
+/// Rates are per *attempt* probabilities in [0, 1]; `crash_at_trial` fires a
+/// process-crash hook when that trial index is assigned (mirrors
+/// `--stop-after-rounds` at trial granularity; drop the `crash=` term on the
+/// resume invocation, exactly like `--stop-after-rounds` itself).
+struct FaultSpec {
+  double transient = 0;
+  double timeout = 0;
+  double garbage = 0;
+  std::int64_t crash_at_trial = -1;  ///< -1 = never
+  std::uint64_t seed = 0;
+
+  /// True when the spec injects anything at all ("none" parses to false).
+  bool any() const {
+    return transient > 0 || timeout > 0 || garbage > 0 || crash_at_trial >= 0;
+  }
+
+  /// Canonical `k=v,...:seed` form; round-trips through `parse`.
+  std::string to_string() const;
+
+  /// Parse `SPEC[:SEED]` where SPEC is `none` or comma-separated
+  /// `transient=P|timeout=P|garbage=P|crash=N` terms.  Rates must lie in
+  /// [0, 1] and sum to at most 1.  Returns false with a reason in `*error`.
+  static bool parse(const std::string& text, FaultSpec* out, std::string* error);
+};
+
+/// Name of a fault kind ("", "transient", "timeout", "garbage").
+const char* fault_kind_name(FaultKind kind);
+
+/// Deterministic fault source.  `decide` draws from an Rng seeded by mixing
+/// `(spec.seed, trial_index, schedule_fp, attempt)`, so the same measurement
+/// attempt always sees the same fault regardless of threading, batch shape,
+/// or how many other measurements ran before it.  Counters are cumulative
+/// and thread-safe (workers call `decide` from the measure pool).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// The fault (or kNone) for attempt `attempt` of trial `trial_index` on
+  /// the schedule with fingerprint `schedule_fp`.  Pure up to the counters.
+  FaultKind decide(std::int64_t trial_index, std::uint64_t schedule_fp,
+                   int attempt) const;
+
+  /// The deterministically-chosen bad latency for a kGarbage fault: one of
+  /// NaN, +inf, a negative value, or exactly 0 — all rejected by the
+  /// measurer's validity check.
+  double garbage_latency(std::int64_t trial_index, std::uint64_t schedule_fp,
+                         int attempt) const;
+
+  /// True when assigning `trial_index` should fire the crash hook.
+  bool should_crash(std::int64_t trial_index) const {
+    return spec_.crash_at_trial >= 0 && trial_index == spec_.crash_at_trial;
+  }
+
+  /// Cumulative injected-fault counts, by kind.
+  std::uint64_t injected_transient() const { return transient_.load(); }
+  std::uint64_t injected_timeout() const { return timeout_.load(); }
+  std::uint64_t injected_garbage() const { return garbage_.load(); }
+  std::uint64_t injected_total() const {
+    return transient_.load() + timeout_.load() + garbage_.load();
+  }
+
+ private:
+  FaultSpec spec_;
+  mutable std::atomic<std::uint64_t> transient_{0};
+  mutable std::atomic<std::uint64_t> timeout_{0};
+  mutable std::atomic<std::uint64_t> garbage_{0};
+};
+
+}  // namespace harl

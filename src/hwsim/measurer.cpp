@@ -1,13 +1,24 @@
 #include "hwsim/measurer.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace harl {
+
+const char* measure_status_name(MeasureStatus status) {
+  switch (status) {
+    case MeasureStatus::kOk: return "";
+    case MeasureStatus::kTransient: return "transient";
+    case MeasureStatus::kTimeout: return "timeout";
+    case MeasureStatus::kGarbage: return "garbage";
+    case MeasureStatus::kQuarantined: return "quarantined";
+  }
+  return "";
+}
 
 Measurer::Measurer(const CostSimulator* sim, std::uint64_t seed)
     : sim_(sim), seed_(seed) {}
@@ -38,25 +49,131 @@ double Measurer::remeasure(const Schedule& sched, std::int64_t trial_index) cons
   return noisy(sim_->simulate_ms(sched), trial_index);
 }
 
+bool Measurer::is_quarantined(std::uint64_t schedule_fp) const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return quarantined_.count(schedule_fp) != 0;
+}
+
+std::size_t Measurer::quarantined_schedules() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return quarantined_.size();
+}
+
+double Measurer::backoff_ms_total() const {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  return backoff_ms_total_;
+}
+
+void Measurer::record_failure(std::uint64_t fp) {
+  std::lock_guard<std::mutex> lock(fault_mu_);
+  int count = ++fail_counts_[fp];
+  if (retry_.quarantine_after > 0 && count >= retry_.quarantine_after) {
+    quarantined_.insert(fp);
+  }
+}
+
+void Measurer::maybe_crash(std::int64_t base, std::int64_t count) {
+  if (injector_ == nullptr || !crash_hook_) return;
+  std::int64_t at = injector_->spec().crash_at_trial;
+  if (at >= 0 && base <= at && at < base + count) crash_hook_(at);
+}
+
+MeasureStatus Measurer::simulate_attempt(const Schedule& sched,
+                                         std::uint64_t fp,
+                                         std::int64_t trial_index, int attempt,
+                                         double* out_ms) {
+  FaultKind fault = FaultKind::kNone;
+  if (injector_ != nullptr) fault = injector_->decide(trial_index, fp, attempt);
+  if (fault == FaultKind::kTransient) return MeasureStatus::kTransient;
+  if (fault == FaultKind::kTimeout) {
+    // An injected hang is decided, not waited for: the watchdog would reclaim
+    // the slot after `watchdog_ms`, so model that outcome deterministically.
+    return MeasureStatus::kTimeout;
+  }
+
+  const bool watchdog = retry_.watchdog_ms > 0;
+  std::chrono::steady_clock::time_point t0;
+  if (watchdog) t0 = std::chrono::steady_clock::now();
+  double raw = sim_->simulate_ms(sched);
+  if (watchdog) {
+    double elapsed = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    if (elapsed > retry_.watchdog_ms) return MeasureStatus::kTimeout;
+  }
+  if (fault == FaultKind::kGarbage) {
+    raw = injector_->garbage_latency(trial_index, fp, attempt);
+  }
+
+  double ms = noisy(raw, trial_index);
+  // Validity gate: rejects injected garbage and any genuine simulator bug
+  // alike.  A failed measurement must never smuggle a fake latency onward.
+  if (!std::isfinite(ms) || !(ms > 0)) return MeasureStatus::kGarbage;
+  *out_ms = ms;
+  return MeasureStatus::kOk;
+}
+
+MeasureResult Measurer::measure_live(const Schedule& sched, std::uint64_t fp,
+                                     std::int64_t trial_index) {
+  MeasureResult out;
+  out.trial_index = trial_index;
+  double replay = replay_time(trial_index);
+  if (!std::isnan(replay)) {
+    out.time_ms = replay;
+    replayed_.fetch_add(1);
+    return out;
+  }
+
+  const int attempts = retry_.max_attempts > 0 ? retry_.max_attempts : 1;
+  MeasureStatus last = MeasureStatus::kOk;
+  for (int a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      retries_.fetch_add(1);
+      double backoff = retry_.backoff_base_ms * static_cast<double>(1 << (a - 1));
+      std::lock_guard<std::mutex> lock(fault_mu_);
+      backoff_ms_total_ += backoff;
+    }
+    double ms = 0;
+    last = simulate_attempt(sched, fp, trial_index, a, &ms);
+    if (last == MeasureStatus::kOk) {
+      out.time_ms = ms;
+      if (a > 0) recovered_.fetch_add(1);
+      return out;
+    }
+  }
+
+  // Exhausted the retry budget: report the failure honestly.  The trial is
+  // already spent (budget accounting is about simulator slots, and this one
+  // was occupied), but no latency is fabricated and nothing reaches the
+  // measure cache, the cost model, or a best pool.
+  out.status = last;
+  out.time_ms = std::numeric_limits<double>::infinity();
+  failed_.fetch_add(1);
+  record_failure(fp);
+  return out;
+}
+
 MeasureResult Measurer::measure_one(const Schedule& sched) {
+  const bool fault_mode = injector_ != nullptr;
   std::uint64_t fp = 0;
+  if (cache_.enabled() || fault_mode) fp = sched.fingerprint();
+  if (fault_mode && is_quarantined(fp)) {
+    MeasureResult out;
+    out.trial_index = trials_.load();
+    out.time_ms = std::numeric_limits<double>::infinity();
+    out.status = MeasureStatus::kQuarantined;
+    quarantine_hits_.fetch_add(1);
+    return out;
+  }
   if (cache_.enabled()) {
-    fp = sched.fingerprint();
     if (auto hit = cache_.lookup(fp)) {
-      return {*hit, trials_.load(), true};
+      return {*hit, trials_.load(), true, MeasureStatus::kOk};
     }
   }
   std::int64_t idx = trials_.fetch_add(1);
-  double replay = replay_time(idx);
-  double ms;
-  if (std::isnan(replay)) {
-    ms = noisy(sim_->simulate_ms(sched), idx);
-  } else {
-    ms = replay;
-    replayed_.fetch_add(1);
-  }
-  MeasureResult out{ms, idx, false};
-  if (cache_.enabled()) cache_.insert(fp, out.time_ms);
+  maybe_crash(idx, 1);
+  MeasureResult out = measure_live(sched, fp, idx);
+  if (cache_.enabled() && !out.failed()) cache_.insert(fp, out.time_ms);
   return out;
 }
 
@@ -66,31 +183,42 @@ std::vector<MeasureResult> Measurer::measure_batch_results(
   std::vector<MeasureResult> out(n);
   if (n == 0) return out;
 
-  // Pass 1 (serial, in batch order): resolve cache hits and in-batch
-  // duplicates, and assign each simulator-bound schedule its trial offset.
-  // Doing this before the parallel section pins the schedule -> trial-index
-  // mapping, which is what makes the noise draws thread-count independent.
+  // Pass 1 (serial, in batch order): resolve cache hits, quarantined
+  // schedules, and in-batch duplicates, and assign each simulator-bound
+  // schedule its trial offset.  Doing this before the parallel section pins
+  // the schedule -> trial-index mapping, which is what makes the noise draws
+  // thread-count independent.
   std::vector<std::size_t> miss;              // positions that hit the simulator
   std::vector<std::size_t> dup_of(n, n);      // in-batch duplicate -> first position
   std::vector<std::uint64_t> fps;
   const bool cached_mode = cache_.enabled();
-  if (cached_mode) {
+  const bool fault_mode = injector_ != nullptr;
+  if (cached_mode || fault_mode) {
     fps.resize(n);
     std::unordered_map<std::uint64_t, std::size_t> first_pos;
     for (std::size_t i = 0; i < n; ++i) {
       fps[i] = scheds[i].fingerprint();
-      if (auto hit = cache_.lookup(fps[i])) {
-        out[i].time_ms = *hit;
-        out[i].cached = true;
-        out[i].trial_index = static_cast<std::int64_t>(miss.size());  // offset for now
+      if (fault_mode && is_quarantined(fps[i])) {
+        out[i].time_ms = std::numeric_limits<double>::infinity();
+        out[i].status = MeasureStatus::kQuarantined;
+        out[i].trial_index = static_cast<std::int64_t>(miss.size());  // offset
+        quarantine_hits_.fetch_add(1);
         continue;
       }
-      auto it = first_pos.find(fps[i]);
-      if (it != first_pos.end()) {
-        dup_of[i] = it->second;
-        continue;
+      if (cached_mode) {
+        if (auto hit = cache_.lookup(fps[i])) {
+          out[i].time_ms = *hit;
+          out[i].cached = true;
+          out[i].trial_index = static_cast<std::int64_t>(miss.size());  // offset for now
+          continue;
+        }
+        auto it = first_pos.find(fps[i]);
+        if (it != first_pos.end()) {
+          dup_of[i] = it->second;
+          continue;
+        }
+        first_pos.emplace(fps[i], i);
       }
-      first_pos.emplace(fps[i], i);
       out[i].trial_index = static_cast<std::int64_t>(miss.size());
       miss.push_back(i);
     }
@@ -103,32 +231,26 @@ std::vector<MeasureResult> Measurer::measure_batch_results(
   }
 
   std::int64_t base = trials_.fetch_add(static_cast<std::int64_t>(miss.size()));
+  maybe_crash(base, static_cast<std::int64_t>(miss.size()));
 
   // Pass 2 (parallel): simulate the deduplicated misses.  Each iteration owns
   // one output slot, so the write pattern is race-free and deterministic.
   pool().parallel_for(miss.size(), [&](std::size_t k) {
     std::size_t i = miss[k];
     std::int64_t idx = base + out[i].trial_index;
-    double replay = replay_time(idx);
-    if (std::isnan(replay)) {
-      out[i].time_ms = noisy(sim_->simulate_ms(scheds[i]), idx);
-    } else {
-      out[i].time_ms = replay;
-      replayed_.fetch_add(1);
-    }
-    out[i].trial_index = idx;
+    out[i] = measure_live(scheds[i], fps.empty() ? 0 : fps[i], idx);
   });
 
-  // Pass 3 (serial): rebase hit indices, resolve duplicates, publish to the
-  // cache in batch order.
-  if (cached_mode) {
+  // Pass 3 (serial): rebase hit/quarantine indices, resolve duplicates,
+  // publish successful results to the cache in batch order.
+  if (cached_mode || fault_mode) {
     for (std::size_t i = 0; i < n; ++i) {
-      if (out[i].cached) {
+      if (out[i].cached || out[i].status == MeasureStatus::kQuarantined) {
         out[i].trial_index += base;
       } else if (dup_of[i] < n) {
         out[i] = out[dup_of[i]];
         out[i].cached = true;
-      } else {
+      } else if (cached_mode && !out[i].failed()) {
         cache_.insert(fps[i], out[i].time_ms);
       }
     }

@@ -5,12 +5,21 @@
 /// accounting, deterministic per-(seed, trial index) noise, a replay table
 /// for resume, and the LRU measure cache.  Invariant: results are
 /// bit-identical for any pool size; trials count simulator invocations only.
-/// Collaborators: CostSimulator, ThreadPool, resume/verify_resume.
+/// Hardened against a deterministic `FaultInjector`: bounded retries with
+/// deterministic backoff, explicit failed states (never fake latencies), a
+/// quarantine list for repeat-offender schedules, and a cooperative
+/// per-measurement watchdog.
+/// Collaborators: CostSimulator, ThreadPool, FaultInjector, resume.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "hwsim/fault_injector.hpp"
 #include "hwsim/measure_cache.hpp"
 #include "hwsim/simulator.hpp"
 
@@ -18,11 +27,54 @@ namespace harl {
 
 class ThreadPool;
 
+/// How a measurement ended.  Everything but kOk is a failure: the result
+/// carries no usable latency (`time_ms` is +inf in memory, 0 in logs) and is
+/// excluded from the cost model, best tracking, training, and serving.
+enum class MeasureStatus {
+  kOk = 0,
+  kTransient,    ///< simulator error persisted through every retry
+  kTimeout,      ///< hang; the watchdog reclaimed the slot on every attempt
+  kGarbage,      ///< non-finite / non-positive latency on every attempt
+  kQuarantined,  ///< schedule is on the quarantine list; not measured at all
+};
+
+/// Failure-field name for a status ("" for kOk, else "transient", "timeout",
+/// "garbage", "quarantined") — the value stored in `TuningRecord::fail`.
+const char* measure_status_name(MeasureStatus status);
+
 /// One measurement outcome with its trial accounting.
 struct MeasureResult {
   double time_ms = 0;
   std::int64_t trial_index = 0;  ///< trials_used() snapshot the result maps to
   bool cached = false;           ///< true: replayed from the cache, no trial spent
+  MeasureStatus status = MeasureStatus::kOk;
+
+  bool failed() const { return status != MeasureStatus::kOk; }
+};
+
+/// Retry and quarantine policy for failed measurements.
+struct MeasureRetryOptions {
+  /// Attempts per measurement (>= 1).  A measurement consumes exactly one
+  /// trial no matter how many attempts it takes — retries are bookkept in
+  /// `Measurer::retries()` instead, preserving the trial invariant.
+  int max_attempts = 3;
+  /// Distinct *measurements* of one schedule fingerprint that may fail
+  /// (after retries) before the schedule is quarantined.  Quarantined
+  /// schedules return kQuarantined without touching the simulator and
+  /// consume no trial.  0 disables quarantine.
+  int quarantine_after = 2;
+  /// Deterministic backoff before retry `a` is `backoff_base_ms * 2^(a-1)`.
+  /// The simulated target makes sleeping pointless, so the delay is
+  /// *accounted* (see `Measurer::backoff_ms_total`) rather than slept —
+  /// keeping faulty runs fast and bit-identical.
+  double backoff_base_ms = 1.0;
+  /// Cooperative watchdog: a simulator call whose wall-clock time exceeds
+  /// this budget is treated as kTimeout for that attempt.  0 disables the
+  /// check.  Injected timeouts are decided *deterministically* and never
+  /// wait on the clock; the wall-clock path is a safety net for a genuinely
+  /// slow simulator and is off by default because it is inherently
+  /// nondeterministic.
+  double watchdog_ms = 0;
 };
 
 /// The measurement stage of the auto-scheduler: runs candidate schedules on
@@ -49,6 +101,17 @@ struct MeasureResult {
 /// cache is off by default so a bare Measurer keeps strict
 /// one-trial-per-measurement accounting; `TuningSession` enables it from
 /// `SearchOptions::measure_cache_capacity`.
+///
+/// Failure semantics (`set_fault_injector`, `set_retry_options`): an attempt
+/// that fails (transient error, timeout, garbage latency) is retried up to
+/// `max_attempts` times with deterministic backoff; a retry that succeeds
+/// returns the *same* noisy latency a fault-free run would have, so
+/// successful values are bit-identical with and without faults.  A
+/// measurement that exhausts its retries reports a failed `MeasureResult`
+/// (never a fabricated latency), still consumes its one trial, and counts
+/// against the schedule's quarantine threshold.  Quarantined schedules are
+/// refused in the serial pass — like cache hits they consume no trial.
+/// Failed results are never inserted into the measure cache.
 class Measurer {
  public:
   Measurer(const CostSimulator* sim, std::uint64_t seed);
@@ -64,7 +127,25 @@ class Measurer {
   const MeasureCache& cache() const { return cache_; }
   MeasureCache& cache() { return cache_; }
 
-  /// Measure one schedule; consumes one trial unless it is a cache hit.
+  /// Install a fault source (not owned; nullptr disables).  With no injector
+  /// and a well-behaved simulator the measure paths are byte-identical to a
+  /// build without fault support.
+  void set_fault_injector(const FaultInjector* injector) { injector_ = injector; }
+  const FaultInjector* fault_injector() const { return injector_; }
+
+  /// Hook fired on the tuning thread when the injector's crash trial is
+  /// assigned (tune_network installs `std::_Exit(3)` to emulate a hard
+  /// crash).  Fired before the trial simulates, so nothing of it is logged —
+  /// resume re-executes it, exactly like `--stop-after-rounds`.
+  void set_crash_hook(std::function<void(std::int64_t)> hook) {
+    crash_hook_ = std::move(hook);
+  }
+
+  void set_retry_options(const MeasureRetryOptions& retry) { retry_ = retry; }
+  const MeasureRetryOptions& retry_options() const { return retry_; }
+
+  /// Measure one schedule; consumes one trial unless it is a cache hit or
+  /// the schedule is quarantined.
   MeasureResult measure_one(const Schedule& sched);
 
   /// Measure a batch concurrently; consumes one trial per schedule that
@@ -89,10 +170,20 @@ class Measurer {
   /// invoking the simulator; its trial accounting is unchanged, so a resumed
   /// run re-executes the search bit-identically while skipping the simulator
   /// for every already-measured trial.  Entries never expire — replaying the
-  /// same log twice is idempotent.
+  /// same log twice is idempotent.  Failed trials are never preloaded: they
+  /// re-execute against the (same-seeded) injector and fail identically.
   void preload_replay(std::vector<double> times_by_trial);
   /// Simulator invocations avoided via the replay table so far.
   std::int64_t replayed() const { return replayed_.load(); }
+
+  /// Failure bookkeeping.
+  std::int64_t failed() const { return failed_.load(); }     ///< failed measurements
+  std::int64_t retries() const { return retries_.load(); }   ///< extra attempts
+  std::int64_t recovered() const { return recovered_.load(); }  ///< succeeded after retry
+  double backoff_ms_total() const;      ///< accounted (not slept) backoff
+  std::size_t quarantined_schedules() const;  ///< distinct fps quarantined
+  std::int64_t quarantine_hits() const { return quarantine_hits_.load(); }
+  bool is_quarantined(std::uint64_t schedule_fp) const;
 
   /// Verification path (`verify_resume`): recompute the measurement a
   /// schedule would have produced at `trial_index` — simulator time plus the
@@ -105,6 +196,17 @@ class Measurer {
   double noisy(double ms, std::int64_t trial_index) const;
   /// Replay-table lookup for `trial_index`; NaN when absent.
   double replay_time(std::int64_t trial_index) const;
+  /// One simulator attempt; fills `*out_ms` and returns kOk, or returns the
+  /// failure status of this attempt.
+  MeasureStatus simulate_attempt(const Schedule& sched, std::uint64_t fp,
+                                 std::int64_t trial_index, int attempt,
+                                 double* out_ms);
+  /// Full measurement of an assigned trial: replay check, then the retry
+  /// loop.  Runs on pool workers; must not touch the trial counter.
+  MeasureResult measure_live(const Schedule& sched, std::uint64_t fp,
+                             std::int64_t trial_index);
+  void record_failure(std::uint64_t fp);
+  void maybe_crash(std::int64_t base, std::int64_t count);
 
   const CostSimulator* sim_;
   std::uint64_t seed_;
@@ -113,6 +215,18 @@ class Measurer {
   ThreadPool* pool_ = nullptr;
   MeasureCache cache_;
   std::vector<double> replay_;  ///< read-only during measurement (workers share)
+
+  const FaultInjector* injector_ = nullptr;
+  std::function<void(std::int64_t)> crash_hook_;
+  MeasureRetryOptions retry_;
+  std::atomic<std::int64_t> failed_{0};
+  std::atomic<std::int64_t> retries_{0};
+  std::atomic<std::int64_t> recovered_{0};
+  std::atomic<std::int64_t> quarantine_hits_{0};
+  mutable std::mutex fault_mu_;         ///< guards the two maps + backoff sum
+  std::unordered_map<std::uint64_t, int> fail_counts_;
+  std::unordered_set<std::uint64_t> quarantined_;
+  double backoff_ms_total_ = 0;
 };
 
 }  // namespace harl

@@ -117,6 +117,9 @@ void AsyncCallbackBus::deliver(const Event& event) {
         case Event::Kind::kRecords:
           cb->on_records(*event.scheduler, event.task, event.records);
           break;
+        case Event::Kind::kFailure:
+          cb->on_failure(*event.scheduler, event.failure);
+          break;
         case Event::Kind::kNewBest:
           cb->on_new_best(*event.scheduler, event.task, event.best);
           break;
@@ -154,6 +157,17 @@ void AsyncCallbackBus::on_records(const TaskScheduler& scheduler, int task,
   e.scheduler = &scheduler;
   e.task = task;
   e.records = records;
+  push(std::move(e));
+}
+
+void AsyncCallbackBus::on_failure(const TaskScheduler& scheduler,
+                                  const FailureEvent& failure) {
+  if (!has_consumers()) return;
+  Event e;
+  e.kind = Event::Kind::kFailure;
+  e.scheduler = &scheduler;
+  e.task = failure.task;
+  e.failure = failure;
   push(std::move(e));
 }
 

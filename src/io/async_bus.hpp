@@ -109,6 +109,8 @@ class AsyncCallbackBus : public TuningCallback {
   // Producer side: enqueue a copy of the event (see class comment).
   void on_records(const TaskScheduler& scheduler, int task,
                   const std::vector<MeasuredRecord>& records) override;
+  void on_failure(const TaskScheduler& scheduler,
+                  const FailureEvent& failure) override;
   void on_new_best(const TaskScheduler& scheduler, int task,
                    const MeasuredRecord& best) override;
   void on_round(const TaskScheduler& scheduler, const RoundEvent& round) override;
@@ -139,13 +141,14 @@ class AsyncCallbackBus : public TuningCallback {
  private:
   /// One queued event: the kind discriminates which payload fields are live.
   struct Event {
-    enum class Kind { kRecords, kNewBest, kRound, kTaskComplete };
+    enum class Kind { kRecords, kFailure, kNewBest, kRound, kTaskComplete };
     Kind kind = Kind::kRound;
     const TaskScheduler* scheduler = nullptr;
     int task = -1;
     std::vector<MeasuredRecord> records;  ///< kRecords
     MeasuredRecord best;                  ///< kNewBest
     RoundEvent round;                     ///< kRound
+    FailureEvent failure;                 ///< kFailure
   };
 
   bool has_consumers() const;

@@ -22,6 +22,11 @@ void CallbackBus::emit_records(const TaskScheduler& scheduler, int task,
   for (TuningCallback* cb : callbacks_) cb->on_records(scheduler, task, records);
 }
 
+void CallbackBus::emit_failure(const TaskScheduler& scheduler,
+                               const FailureEvent& failure) const {
+  for (TuningCallback* cb : callbacks_) cb->on_failure(scheduler, failure);
+}
+
 void CallbackBus::emit_new_best(const TaskScheduler& scheduler, int task,
                                 const MeasuredRecord& best) const {
   for (TuningCallback* cb : callbacks_) cb->on_new_best(scheduler, task, best);

@@ -3,8 +3,8 @@
 /// \file callbacks.hpp
 /// The tuning observer interface (TuningCallback) and the synchronous
 /// fan-out CallbackBus.  Invariant: a fixed per-round event order
-/// (on_records -> on_new_best -> on_round; on_task_complete at budget end),
-/// and callbacks observe — they never influence the search.
+/// (on_records -> on_failure -> on_new_best -> on_round; on_task_complete
+/// at budget end), and callbacks observe — they never influence the search.
 /// Collaborators: TaskScheduler (producer), RecordLogger, AsyncCallbackBus.
 
 #include <cstdint>
@@ -27,13 +27,26 @@ struct RoundEvent {
   double net_latency_ms = 0;         ///< objective after the round (+inf in warmup)
 };
 
+/// One failed measurement committed to a task (status != kOk): the
+/// observer-facing face of the fault pipeline.  Fired after `on_records`
+/// (the failed record is also *in* that batch, with `time_ms` unusable) so
+/// monitors can alert without re-scanning every record.
+struct FailureEvent {
+  int task = -1;                     ///< subgraph the measurement belonged to
+  std::int64_t trial_index = 0;      ///< trial accounting position
+  std::uint64_t schedule_fp = 0;     ///< Schedule::fingerprint() of the victim
+  MeasureStatus status = MeasureStatus::kOk;  ///< why it failed
+  bool quarantined = false;          ///< schedule is now on the quarantine list
+};
+
 /// Observer interface for a tuning run — the extension point through which
 /// persistence (`RecordLogger`), progress UIs, early-stop monitors, or
 /// dataset harvesters watch a `TaskScheduler` without polling it.
 ///
 /// Event order within one round: `on_records` (the round's committed
-/// measurements), then `on_new_best` (only when the task's best improved),
-/// then `on_round`.  `on_task_complete` fires once per task when a
+/// measurements), then `on_failure` for each failed record in commit order,
+/// then `on_new_best` (only when the task's best improved), then
+/// `on_round`.  `on_task_complete` fires once per task when a
 /// `TaskScheduler::run` / `TuningSession::run` budget finishes (including
 /// saturation early-exit), after the final round's events.
 ///
@@ -50,6 +63,12 @@ class TuningCallback {
   virtual void on_records(const TaskScheduler& scheduler, int task,
                           const std::vector<MeasuredRecord>& records) {
     (void)scheduler, (void)task, (void)records;
+  }
+
+  /// A measurement committed to a task ended in a failed state.
+  virtual void on_failure(const TaskScheduler& scheduler,
+                          const FailureEvent& failure) {
+    (void)scheduler, (void)failure;
   }
 
   /// `task`'s best time improved; `best` is the improving record.
@@ -90,6 +109,8 @@ class CallbackBus {
 
   void emit_records(const TaskScheduler& scheduler, int task,
                     const std::vector<MeasuredRecord>& records) const;
+  void emit_failure(const TaskScheduler& scheduler,
+                    const FailureEvent& failure) const;
   void emit_new_best(const TaskScheduler& scheduler, int task,
                      const MeasuredRecord& best) const;
   void emit_round(const TaskScheduler& scheduler, const RoundEvent& round) const;

@@ -10,8 +10,8 @@ bool TuningRecord::operator==(const TuningRecord& o) const {
          policy == o.policy && seed == o.seed && sketch_id == o.sketch_id &&
          sketch_tag == o.sketch_tag && stages == o.stages &&
          time_ms == o.time_ms && trial_index == o.trial_index &&
-         cached == o.cached && task_sig == o.task_sig && hw_sim == o.hw_sim &&
-         experience_fp == o.experience_fp;
+         cached == o.cached && fail == o.fail && task_sig == o.task_sig &&
+         hw_sim == o.hw_sim && experience_fp == o.experience_fp;
 }
 
 std::vector<StageDecision> decisions_from_schedule(const Schedule& sched) {
@@ -60,6 +60,9 @@ std::string record_to_json(const TuningRecord& rec) {
   obj.set("ms", Value::number(rec.time_ms));
   obj.set("trial", Value::number(rec.trial_index));
   obj.set("cached", Value::boolean(rec.cached));
+  // Optional failure provenance: omitted when the measurement succeeded, so
+  // healthy logs stay byte-identical to those of builds without the field.
+  if (!rec.fail.empty()) obj.set("fail", Value::string(rec.fail));
   // Optional transfer provenance: omitted when empty, so records without it
   // (and re-serialized old records) stay byte-identical to their source.
   if (!rec.task_sig.empty()) obj.set("sig", Value::string(rec.task_sig));
@@ -156,7 +159,14 @@ bool record_from_json(const std::string& line, TuningRecord* rec,
   }
   out.cached = v->as_bool();
 
-  // Optional fields (absent in records written before experience transfer).
+  // Optional fields (absent in records written before the features landed).
+  if (const json::Value* fail = obj.find("fail"); fail != nullptr) {
+    if (!fail->is_string()) {
+      *error = "field \"fail\" is not a string";
+      return false;
+    }
+    out.fail = fail->as_string();
+  }
   if (const json::Value* sig = obj.find("sig"); sig != nullptr) {
     if (!sig->is_string()) {
       *error = "field \"sig\" is not a string";

@@ -55,6 +55,14 @@ struct TuningRecord {
   double time_ms = 0;
   std::int64_t trial_index = 0;
   bool cached = false;        ///< replayed from the measure cache (no trial)
+  /// Failure provenance (schema v1 additive field; empty = the measurement
+  /// succeeded).  Set to the `measure_status_name` of a failed measurement
+  /// ("transient", "timeout", "garbage", "quarantined" — free-form for
+  /// forward compatibility).  A failed record carries `time_ms == 0` (never
+  /// a fake latency) and is tolerated by every reader but excluded from
+  /// resume replay, cost-model training, compaction best-k, the experience
+  /// store, and knowledge-cache serving.
+  std::string fail;
 
   // Optional transfer provenance (schema v1 additive fields; empty when the
   // record predates them).  `task_sig` is Subgraph::structure_signature() —

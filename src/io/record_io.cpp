@@ -1,5 +1,7 @@
 #include "io/record_io.hpp"
 
+#include "io/json.hpp"
+
 namespace harl {
 
 // ---------------------------------------------------------------- writer
@@ -59,6 +61,7 @@ bool RecordReader::open(const std::string& path) {
   records_read_ = 0;
   errors_.clear();
   file_ = std::fopen(path.c_str(), "rb");
+  if (file_ != nullptr) path_ = path;
   return file_ != nullptr;
 }
 
@@ -67,6 +70,7 @@ void RecordReader::close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+  path_.clear();
 }
 
 bool RecordReader::next(TuningRecord* rec) {
@@ -110,6 +114,118 @@ std::vector<TuningRecord> read_records(const std::string& path,
   TuningRecord rec;
   while (reader.next(&rec)) out.push_back(rec);
   if (errors != nullptr) *errors = reader.errors();
+  return out;
+}
+
+// ---------------------------------------------------------------- salvage
+
+namespace {
+
+/// A line the tolerant reader accepts or merely counts: blank, a well-formed
+/// record, or a well-formed JSON object from a newer schema version.
+bool line_is_tolerable(const std::string& line) {
+  bool blank = true;
+  for (char ch : line) {
+    if (ch != ' ' && ch != '\t' && ch != '\r') {
+      blank = false;
+      break;
+    }
+  }
+  if (blank) return true;
+  TuningRecord rec;
+  std::string error;
+  if (record_from_json(line, &rec, &error)) return true;
+  json::ParseError perr;
+  json::Value obj = json::parse(line, &perr);
+  if (!perr.ok || !obj.is_object()) return false;
+  const json::Value* v = obj.find("v");
+  return v != nullptr && v->is_number() &&
+         v->as_int64() > kRecordSchemaVersion;
+}
+
+}  // namespace
+
+SalvageResult salvage_log(const std::string& path) {
+  SalvageResult out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // nothing to salvage
+  out.attempted = true;
+
+  std::string text;
+  char buf[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, got);
+  bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    out.error = path + ": read error";
+    return out;
+  }
+
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const bool ends_with_newline = !text.empty() && text.back() == '\n';
+
+  std::size_t first_corrupt = lines.size();
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!line_is_tolerable(lines[i])) {
+      first_corrupt = i;
+      break;
+    }
+  }
+  if (first_corrupt == lines.size()) {
+    out.lines_kept = lines.size();
+    return out;  // healthy (or merely forward-versioned) file
+  }
+  if (first_corrupt == lines.size() - 1 && !ends_with_newline) {
+    // Torn tail: possibly still being appended; the reader skips it and the
+    // writer's newline probe isolates it.  Not ours to rewrite.
+    out.lines_kept = lines.size() - 1;
+    return out;
+  }
+
+  // Real corruption: preserve the evidence, keep the valid prefix.
+  std::string prefix;
+  for (std::size_t i = 0; i < first_corrupt; ++i) {
+    prefix += lines[i];
+    prefix += '\n';
+  }
+  std::string tmp = path + ".salvage.tmp";
+  std::FILE* w = std::fopen(tmp.c_str(), "wb");
+  if (w == nullptr) {
+    out.error = "cannot open " + tmp + " for writing";
+    return out;
+  }
+  bool ok = std::fwrite(prefix.data(), 1, prefix.size(), w) == prefix.size();
+  ok = std::fclose(w) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    out.error = "short write to " + tmp;
+    return out;
+  }
+  std::string quarantine = path + ".quarantine";
+  if (std::rename(path.c_str(), quarantine.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    out.error = "cannot move " + path + " to " + quarantine;
+    return out;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    out.error = "cannot rename " + tmp + " to " + path;
+    return out;
+  }
+  out.salvaged = true;
+  out.lines_kept = first_corrupt;
+  out.lines_dropped = lines.size() - first_corrupt;
+  out.quarantine_path = std::move(quarantine);
   return out;
 }
 

@@ -66,6 +66,7 @@ class RecordReader {
   /// Returns false when the file cannot be opened.
   bool open(const std::string& path);
   bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
   ~RecordReader();
   RecordReader(const RecordReader&) = delete;
   RecordReader& operator=(const RecordReader&) = delete;
@@ -80,6 +81,7 @@ class RecordReader {
 
  private:
   std::FILE* file_ = nullptr;
+  std::string path_;
   std::size_t lines_read_ = 0;
   std::size_t records_read_ = 0;
   std::vector<RecordReadError> errors_;
@@ -89,5 +91,28 @@ class RecordReader {
 /// does not exist).  `errors` (optional) collects the skipped lines.
 std::vector<TuningRecord> read_records(const std::string& path,
                                        std::vector<RecordReadError>* errors = nullptr);
+
+/// Outcome of `salvage_log`.
+struct SalvageResult {
+  bool attempted = false;        ///< the file existed and was scanned
+  bool salvaged = false;         ///< corruption found; the file was rewritten
+  std::size_t lines_kept = 0;    ///< lines of the preserved valid prefix
+  std::size_t lines_dropped = 0; ///< lines quarantined (first corrupt onward)
+  std::string quarantine_path;   ///< where the original moved when salvaged
+  std::string error;             ///< non-empty on I/O failure
+};
+
+/// Self-healing for a corrupt record log (bit rot, editor damage, overlapped
+/// writes — anything beyond the ordinary torn tail).  Scans `path` line by
+/// line; a line is *corrupt* when it is neither blank, nor a well-formed
+/// record, nor a well-formed JSON object from a newer schema version (the
+/// reader tolerates and counts those).  On corruption before the final line
+/// — or on a corrupt final line that ends in '\n', i.e. a completed write —
+/// the original file moves to `path + ".quarantine"` (evidence preserved)
+/// and the valid prefix before the first corrupt line is rewritten to
+/// `path`, byte-exact.  A torn *tail* (corrupt last line without a trailing
+/// newline) is left alone: the tolerant reader and the writer's newline
+/// probe already handle it, and the fragment may still be mid-write.
+SalvageResult salvage_log(const std::string& path);
 
 }  // namespace harl

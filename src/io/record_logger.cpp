@@ -17,7 +17,10 @@ TuningRecord make_tuning_record(const TaskScheduler& scheduler, int task,
   out.sketch_id = rec.sched.sketch->sketch_id;
   out.sketch_tag = rec.sched.sketch->tag;
   out.stages = decisions_from_schedule(rec.sched);
-  out.time_ms = rec.time_ms;
+  // A failed measurement logs no latency — time_ms 0 plus the failure reason,
+  // never the in-memory +inf sentinel (and never a fake time).
+  out.time_ms = rec.failed() ? 0 : rec.time_ms;
+  out.fail = measure_status_name(rec.status);
   out.trial_index = rec.trial_index;
   out.cached = rec.cached;
   out.task_sig = scheduler.task(task).graph().structure_signature();
@@ -50,7 +53,8 @@ void RecordLogger::on_records(const TaskScheduler& scheduler, int task,
       base.sketch_id = rec.sched.sketch->sketch_id;
       base.sketch_tag = rec.sched.sketch->tag;
       base.stages = decisions_from_schedule(rec.sched);
-      base.time_ms = rec.time_ms;
+      base.time_ms = rec.failed() ? 0 : rec.time_ms;
+      base.fail = measure_status_name(rec.status);
       base.trial_index = rec.trial_index;
       base.cached = rec.cached;
     }

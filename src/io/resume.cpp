@@ -35,8 +35,11 @@ ResumeStats resume_session(TuningSession& session,
     }
     ++stats.records_matched;
     // Cache hits carry no simulator invocation of their own; the resumed run
-    // re-derives them from the re-populated measure cache.
-    if (r.cached || r.trial_index < 0) continue;
+    // re-derives them from the re-populated measure cache.  Failed records
+    // carry no usable time either: the resumed run re-executes their trials
+    // against the (same-seeded) fault injector and fails identically, which
+    // is what keeps a faulty crash-resume bit-identical.
+    if (r.cached || r.trial_index < 0 || !r.fail.empty()) continue;
     std::size_t idx = static_cast<std::size_t>(r.trial_index);
     if (replay.size() <= idx) {
       replay.resize(idx + 1, std::numeric_limits<double>::quiet_NaN());
@@ -92,7 +95,7 @@ VerifyResumeReport verify_resume(const TuningSession& session,
       continue;
     }
     ++report.matched;
-    if (r.cached || r.trial_index < 0) continue;
+    if (r.cached || r.trial_index < 0 || !r.fail.empty()) continue;
     eligible.push_back(&r);
   }
   if (eligible.empty() || max_checks == 0) return report;

@@ -24,9 +24,18 @@ void TaskState::commit_measurements(const std::vector<MeasuredRecord>& records) 
   scheds.reserve(records.size());
   times.reserve(records.size());
   for (const MeasuredRecord& r : records) {
+    measured_fps_.insert(r.sched.fingerprint());
+    if (r.failed()) {
+      // A failed measurement teaches nothing: keep it out of the cost model
+      // and best tracking so a fault can never poison the search.  It still
+      // spent its trial (unless quarantined, which never reached a slot).
+      ++failed_measurements_;
+      if (!r.cached && r.status != MeasureStatus::kQuarantined) ++trials_spent_;
+      curve_.push_back({r.trial_index, best_time_ms_});
+      continue;
+    }
     scheds.push_back(r.sched);
     times.push_back(r.time_ms);
-    measured_fps_.insert(r.sched.fingerprint());
     if (!r.cached) ++trials_spent_;
     if (r.time_ms < best_time_ms_) {
       best_time_ms_ = r.time_ms;
@@ -34,11 +43,13 @@ void TaskState::commit_measurements(const std::vector<MeasuredRecord>& records) 
     }
     curve_.push_back({r.trial_index, best_time_ms_});
   }
-  cost_model_.update(scheds, times);
+  if (!scheds.empty()) cost_model_.update(scheds, times);
   best_history_.push_back(best_time_ms_);
   ++rounds_;
 
-  best_pool_.insert(best_pool_.end(), records.begin(), records.end());
+  for (const MeasuredRecord& r : records) {
+    if (!r.failed()) best_pool_.push_back(r);
+  }
   std::sort(best_pool_.begin(), best_pool_.end(),
             [](const MeasuredRecord& a, const MeasuredRecord& b) {
               return a.time_ms < b.time_ms;
@@ -101,8 +112,8 @@ std::vector<MeasuredRecord> measure_and_commit(TaskState& task, Measurer& measur
   std::vector<MeasureResult> results = measurer.measure_batch_results(scheds);
   records.reserve(scheds.size());
   for (std::size_t i = 0; i < scheds.size(); ++i) {
-    records.push_back(
-        {scheds[i], results[i].time_ms, results[i].trial_index, results[i].cached});
+    records.push_back({scheds[i], results[i].time_ms, results[i].trial_index,
+                       results[i].cached, results[i].status});
   }
   task.commit_measurements(records);
   return records;

@@ -29,6 +29,9 @@ struct MeasuredRecord {
   double time_ms = 0;
   std::int64_t trial_index = 0;  ///< global trial counter at measurement time
   bool cached = false;           ///< replayed from the measure cache (no trial)
+  MeasureStatus status = MeasureStatus::kOk;  ///< != kOk: failed, time unusable
+
+  bool failed() const { return status != MeasureStatus::kOk; }
 };
 
 /// A point on the tuning curve: best time after `trials` measurements.
@@ -70,6 +73,8 @@ class TaskState {
   /// sum(task trials) == Measurer::trials_used().
   std::int64_t trials_spent() const { return trials_spent_; }
   int rounds() const { return rounds_; }
+  /// Measurements committed to this task that ended in a failed state.
+  std::int64_t failed_measurements() const { return failed_measurements_; }
   const std::vector<CurvePoint>& curve() const { return curve_; }
 
   /// Best time as of `trials_spent` snapshots taken each round (for the
@@ -82,7 +87,11 @@ class TaskState {
   }
 
   /// Fold a round of measurements into the task: update best/curve/history,
-  /// retrain the cost model, account trials.
+  /// retrain the cost model, account trials.  Failed records (status != kOk)
+  /// are quarantined from learning: they are still marked measured (so the
+  /// search does not re-propose them) and still account their trial — one
+  /// was spent — but never touch the cost model, the best pool, or the task
+  /// best.  Quarantined records consumed no trial and account none.
   void commit_measurements(const std::vector<MeasuredRecord>& records);
 
   /// Seed the search with a schedule whose time is an *estimate* (structural
@@ -110,6 +119,7 @@ class TaskState {
   double best_time_ms_ = std::numeric_limits<double>::infinity();
   Schedule best_schedule_;
   std::int64_t trials_spent_ = 0;
+  std::int64_t failed_measurements_ = 0;
   int rounds_ = 0;
   std::vector<CurvePoint> curve_;
   std::vector<double> best_history_;

@@ -200,6 +200,16 @@ TaskScheduler::RoundResult TaskScheduler::run_round(Measurer& measurer) {
 
   if (!callbacks_.empty()) {
     callbacks_.emit_records(*this, out.task, records);
+    for (const MeasuredRecord& r : records) {
+      if (!r.failed()) continue;
+      FailureEvent failure;
+      failure.task = out.task;
+      failure.trial_index = r.trial_index;
+      failure.schedule_fp = r.sched.fingerprint();
+      failure.status = r.status;
+      failure.quarantined = measurer.is_quarantined(failure.schedule_fp);
+      callbacks_.emit_failure(*this, failure);
+    }
     double best_after = tasks_[static_cast<std::size_t>(out.task)]->best_time_ms();
     if (best_after < best_before) {
       // The improving record is the round's fastest (commit keeps the first

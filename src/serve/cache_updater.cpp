@@ -35,7 +35,7 @@ bool KnowledgeCacheUpdater::save_now() {
   std::string error;
   // save_cache serializes under the cache's own lock and publishes with
   // write-temp + rename, so concurrent folds and readers are both safe.
-  bool ok = save_cache(*cache_, opts_.save_path, &error);
+  bool ok = save_cache(*cache_, opts_.save_path, &error, opts_.fsync_publish);
   std::lock_guard<std::mutex> lock(mu_);
   if (ok) {
     ++saves_;

@@ -26,6 +26,9 @@ struct CacheUpdateOptions {
   /// File the cache is atomically republished to (`save_cache`: write-temp +
   /// rename).  Empty = in-memory only.
   std::string save_path;
+  /// fsync each republished cache file (see `save_cache`), trading publish
+  /// latency for durability across power loss.
+  bool fsync_publish = false;
 };
 
 /// The serving half of the in-run refresh loop: where `ExperienceRefresher`

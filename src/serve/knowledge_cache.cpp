@@ -8,6 +8,7 @@
 #include "features/feature_extractor.hpp"
 #include "io/json.hpp"
 #include "io/record_io.hpp"
+#include "io/safe_file.hpp"
 #include "sched/tiling.hpp"
 #include "util/logging.hpp"
 
@@ -40,7 +41,13 @@ std::shared_ptr<const Gbdt> KnowledgeCache::model() const {
 }
 
 bool KnowledgeCache::insert(const TuningRecord& rec) {
-  if (!(rec.time_ms > 0)) return false;
+  // Failed or timeless records can never serve: reject them at the door so a
+  // fault upstream cannot poison an answer.
+  if (!(rec.time_ms > 0) || !rec.fail.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return false;
+  }
   std::string serialized = record_to_json(rec);
   std::lock_guard<std::mutex> lock(mu_);
   return insert_locked(rec, std::move(serialized));
@@ -441,7 +448,7 @@ bool cache_from_json(const std::string& text, KnowledgeCache* out,
     out->entries_.clear();
     out->contexts_.clear();
     for (const TuningRecord& rec : records) {
-      if (!(rec.time_ms > 0)) continue;
+      if (!(rec.time_ms > 0) || !rec.fail.empty()) continue;
       out->insert_locked(rec, record_to_json(rec));
     }
     out->stats_ = ServeStats{};  // a loaded cache starts with clean counters
@@ -450,42 +457,25 @@ bool cache_from_json(const std::string& text, KnowledgeCache* out,
 }
 
 bool save_cache(const KnowledgeCache& cache, const std::string& path,
-                std::string* error) {
-  std::string text = cache_to_json(cache);
-  std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + tmp + " for writing";
-    return false;
-  }
-  std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  bool ok = written == text.size() && std::fclose(f) == 0;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    if (error != nullptr) *error = "short write to " + tmp;
-    return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
-    return false;
-  }
-  return true;
+                std::string* error, bool fsync) {
+  return atomic_write_file(path, with_checksum_footer(cache_to_json(cache)),
+                           fsync, error);
 }
 
 bool load_cache(const std::string& path, KnowledgeCache* out,
                 std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path;
+  std::string text;
+  if (!read_text_file(path, &text, error)) return false;
+  std::string reason;
+  if (!strip_checksum_footer(&text, &reason)) {
+    if (error != nullptr) *error = path + ": " + reason;
     return false;
   }
-  std::string text;
-  char buf[1 << 16];
-  std::size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
-  std::fclose(f);
-  return cache_from_json(text, out, error);
+  if (!cache_from_json(text, out, &reason)) {
+    if (error != nullptr) *error = path + ": " + reason;
+    return false;
+  }
+  return true;
 }
 
 std::uint64_t cache_fingerprint(const KnowledgeCache& cache) {

@@ -71,7 +71,8 @@ struct ServeStats {
   std::size_t inserts = 0;     ///< records that entered an entry
   std::size_t duplicates = 0;  ///< byte-identical records dropped on insert
   std::size_t evictions = 0;   ///< records dropped by the top-k bound
-  std::size_t rejected = 0;    ///< candidates dropped during rebuild/adaptation
+  std::size_t rejected = 0;    ///< failed/timeless records refused on insert,
+                               ///< plus candidates dropped during rebuild
 };
 
 /// One served answer.  `schedule.sketch` points into the cache's per-task
@@ -216,9 +217,14 @@ bool cache_from_json(const std::string& text, KnowledgeCache* out,
                      std::string* error);
 
 /// File convenience wrappers.  `save_cache` writes atomically (temp +
-/// rename), so a concurrent reader never sees a torn cache.
+/// rename), so a concurrent reader never sees a torn cache, and appends a
+/// CRC-32 footer line (`safe_file.hpp`); with `fsync` the publish is also
+/// durable across power loss.  `load_cache` verifies and strips the footer —
+/// a truncated or bit-flipped cache file is rejected with a path-prefixed
+/// reason, never half-loaded.  `cache_to_json`/`cache_fingerprint` are
+/// unchanged (the footer is a file-level wrapper).
 bool save_cache(const KnowledgeCache& cache, const std::string& path,
-                std::string* error = nullptr);
+                std::string* error = nullptr, bool fsync = false);
 bool load_cache(const std::string& path, KnowledgeCache* out,
                 std::string* error = nullptr);
 
