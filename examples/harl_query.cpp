@@ -1,22 +1,34 @@
 /// Zero-search serving front end: answer "best schedule for this task on
 /// this hardware" from a knowledge cache, without spinning up a tuning
-/// session.
+/// session — locally from cache/log files, or remotely from a running
+/// harl_serve daemon over its line-JSON protocol (docs/PROTOCOL.md).
 ///
 ///   harl_query --task=NETWORK/SUBGRAPH [--hw=xeon|rtx3090|test]
 ///              [--cache=FILE] [--logs=LOG]... [--dir=DIR] [--model=FILE]
 ///              [--save-cache=FILE] [--topk=N] [--repeat=N]
 ///              [--tier-stats] [--expect-best] [--no-golden]
-///       Load the cache file (if given), fold in the record logs, optionally
-///       attach a pretrained GBDT for L2 re-ranking, and serve the query:
+///       Local mode: load the cache file (if given), fold in the record
+///       logs, optionally attach a pretrained GBDT for L2 re-ranking, and
+///       serve the query:
 ///       L1 = exact (network, task, hardware) best rebuilt from its record,
 ///       L2 = structural near-miss adapted to the query shape,
 ///       L3 = deterministic golden-advice default on a cold miss.
+///
+///   harl_query --connect=HOST:PORT [--tenant=NAME] [--budget=N]
+///              [--task=NETWORK/SUBGRAPH] [--tune=NETWORK] [--batch=N]
+///              [--trials=N] [--seed=N] [--policy=NAME] [--wait]
+///              [--watch=JOB] [--status=JOB] [--stats] [--shutdown]
+///       Client mode: talk to a harl_serve daemon (--connect=PORT implies
+///       host 127.0.0.1).  Queries print the same tier/record lines as
+///       local mode; tuning requests are admitted against the tenant's
+///       trial budget and can be streamed to completion.
 ///
 ///   --task=NETWORK/SUBGRAPH  what to serve, e.g. bert_b1/GEMM-I (builtin
 ///                            workload names; see harl_harvest stats)
 ///   --hw=NAME          target hardware preset (default xeon)
 ///   --cache=FILE       knowledge-cache JSON to load before the logs
-///   --logs=LOG         a tuning log to fold in (repeatable)
+///   --logs=LOG         a tuning log to fold in (repeatable); with
+///                      --connect, the reference logs for --expect-best
 ///   --dir=DIR          fold in every *.jsonl under DIR (sorted)
 ///   --model=FILE       pretrained GBDT re-ranking L2 candidates
 ///   --save-cache=FILE  write the folded cache back out (atomic) and, with
@@ -26,12 +38,26 @@
 ///   --tier-stats       print the cache's tier hit counters
 ///   --expect-best      verify the answer is an L1 hit whose record is
 ///                      byte-identical to the best log record (exit 6 when
-///                      not — the CI round-trip gate)
+///                      not — the CI round-trip gate; works remotely too)
 ///   --no-golden        report a miss instead of golden advice on cold tasks
+///   --connect=HOST:PORT  client mode: the daemon to talk to (PORT alone
+///                        means 127.0.0.1:PORT)
+///   --tenant=NAME      tenant to act as (default "default")
+///   --budget=N         hello: set/raise the tenant's trial budget
+///   --tune=NETWORK     admit a tuning job for this base network
+///   --batch=N          batch size of the tuned network (default 1)
+///   --trials=N         measurement-trial budget of the job
+///   --seed=N           job seed — part of its deterministic run identity
+///   --policy=NAME      search policy for the job (harl, random, ...)
+///   --wait             after --tune, stream round events until the job ends
+///   --watch=JOB        stream an existing job's events until it ends
+///   --status=JOB       print one job's state and result summary
+///   --stats            print server-wide counters
+///   --shutdown         ask the daemon to drain and exit
 ///   --help             print usage and exit
 ///
-/// Exit codes: 0 served, 1 setup error, 2 usage error, 6 --expect-best
-/// mismatch.
+/// Exit codes: 0 served, 1 setup/remote error, 2 usage error, 4 watched job
+/// stopped without completing, 6 --expect-best mismatch.
 
 #include <algorithm>
 #include <chrono>
@@ -42,6 +68,8 @@
 
 #include "core/harl.hpp"
 #include "serve/knowledge_cache.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
 
 #include <dirent.h>
 
@@ -91,7 +119,323 @@ void usage(std::FILE* out) {
       "                  [--cache=FILE] [--logs=LOG]... [--dir=DIR]\n"
       "                  [--model=FILE] [--save-cache=FILE] [--topk=N]\n"
       "                  [--repeat=N] [--tier-stats] [--expect-best]\n"
-      "                  [--no-golden] [--help]\n");
+      "                  [--no-golden] [--help]\n"
+      "       harl_query --connect=HOST:PORT [--tenant=NAME] [--budget=N]\n"
+      "                  [--task=NETWORK/SUBGRAPH] [--tune=NETWORK]\n"
+      "                  [--batch=N] [--trials=N] [--seed=N] [--policy=NAME]\n"
+      "                  [--wait] [--watch=JOB] [--status=JOB] [--stats]\n"
+      "                  [--shutdown]\n");
+}
+
+/// The minimum record under (time_ms asc, serialized asc) the logs hold for
+/// this (network, task, hardware) triple — the --expect-best reference.
+std::string best_log_record(const std::vector<std::string>& logs,
+                            const std::string& net_name,
+                            const std::string& sub_name,
+                            std::uint64_t hw_fp) {
+  std::string best;
+  double best_time = 0;
+  for (const std::string& log : logs) {
+    for (const TuningRecord& rec : read_records(log)) {
+      if (rec.network != net_name || rec.task != sub_name ||
+          rec.hardware_fp != hw_fp || !(rec.time_ms > 0)) {
+        continue;
+      }
+      std::string line = record_to_json(rec);
+      if (best.empty() || rec.time_ms < best_time ||
+          (rec.time_ms == best_time && line < best)) {
+        best_time = rec.time_ms;
+        best = std::move(line);
+      }
+    }
+  }
+  return best;
+}
+
+/// Byte-identity gate shared by local and remote --expect-best: the served
+/// answer must be L1 and its record must equal the best log record.
+int check_expect_best(const std::vector<std::string>& logs,
+                      const std::string& net_name, const std::string& sub_name,
+                      std::uint64_t hw_fp, const std::string& tier,
+                      const std::string& served_record) {
+  if (tier != "L1") {
+    std::fprintf(stderr, "expect-best: answer came from %s, not L1\n",
+                 tier.c_str());
+    return 6;
+  }
+  std::string best = best_log_record(logs, net_name, sub_name, hw_fp);
+  if (best.empty()) {
+    std::fprintf(stderr, "expect-best: the logs hold no record for %s/%s\n",
+                 net_name.c_str(), sub_name.c_str());
+    return 6;
+  }
+  if (served_record != best) {
+    std::fprintf(stderr,
+                 "expect-best: served record differs from the log best\n"
+                 "  served: %s\n  best:   %s\n",
+                 served_record.c_str(), best.c_str());
+    return 6;
+  }
+  std::printf("expect-best: L1 bit-identity OK\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Remote (client) mode
+// ---------------------------------------------------------------------------
+
+struct RemoteArgs {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string tenant;
+  std::int64_t budget = -1;
+  std::string task_spec;
+  std::string hw = "xeon";
+  std::string tune_network;
+  std::int64_t batch = 1;
+  std::int64_t trials = 0;
+  std::uint64_t seed = 42;
+  std::string policy;
+  bool wait = false;
+  std::int64_t watch_job = -1;
+  std::int64_t status_job = -1;
+  bool stats = false;
+  bool do_shutdown = false;
+  int repeat = 1;
+  bool expect_best = false;
+  std::vector<std::string> logs;
+};
+
+/// One request/reply round trip; prints a diagnostic and returns false on a
+/// transport or protocol failure, or an error reply.
+bool remote_call(LineClient& cli, const Request& req, Response* resp) {
+  std::string err, line;
+  if (!cli.send_line(request_to_json(req), &err) ||
+      !cli.recv_line(&line, &err)) {
+    std::fprintf(stderr, "remote: %s\n", err.c_str());
+    return false;
+  }
+  if (!response_from_json(line, resp, &err)) {
+    std::fprintf(stderr, "remote: bad reply: %s\n", err.c_str());
+    return false;
+  }
+  if (!resp->ok && resp->event.empty()) {
+    std::fprintf(stderr, "remote: %s\n", resp->error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Stream a job's round/best events until its terminal "done" event.
+int remote_watch(LineClient& cli, std::int64_t job) {
+  Request req;
+  req.type = RequestType::kSubscribe;
+  req.job = job;
+  std::string err;
+  if (!cli.send_line(request_to_json(req), &err)) {
+    std::fprintf(stderr, "remote: %s\n", err.c_str());
+    return 1;
+  }
+  for (;;) {
+    std::string line;
+    if (!cli.recv_line(&line, &err, 600000)) {
+      std::fprintf(stderr, "remote: %s\n", err.c_str());
+      return 1;
+    }
+    Response ev;
+    if (!response_from_json(line, &ev, &err)) {
+      std::fprintf(stderr, "remote: bad event: %s\n", err.c_str());
+      return 1;
+    }
+    if (!ev.ok) {
+      std::fprintf(stderr, "remote: %s\n", ev.error.c_str());
+      return 1;
+    }
+    if (ev.event == "round") {
+      std::printf("job %lld round %lld  task=%s trials=%lld",
+                  static_cast<long long>(ev.job),
+                  static_cast<long long>(ev.round), ev.task.c_str(),
+                  static_cast<long long>(ev.trials_after));
+      if (ev.net_latency_ms >= 0) {
+        std::printf("  net latency %s ms",
+                    json::format_double(ev.net_latency_ms).c_str());
+      }
+      std::printf("\n");
+    } else if (ev.event == "best") {
+      std::printf("job %lld new best  task=%s %s ms",
+                  static_cast<long long>(ev.job), ev.task.c_str(),
+                  json::format_double(ev.est_time_ms).c_str());
+      if (ev.net_latency_ms >= 0) {
+        std::printf("  net latency %s ms",
+                    json::format_double(ev.net_latency_ms).c_str());
+      }
+      std::printf("\n");
+    } else if (ev.event == "done") {
+      std::printf("job %lld %s", static_cast<long long>(ev.job),
+                  ev.state.c_str());
+      if (ev.trials_used >= 0) {
+        std::printf("  trials_used=%lld", static_cast<long long>(ev.trials_used));
+      }
+      if (ev.latency_ms >= 0) {
+        std::printf("  net latency %s ms",
+                    json::format_double(ev.latency_ms).c_str());
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+      return ev.state == "done" ? 0 : 4;
+    }
+    std::fflush(stdout);
+  }
+}
+
+int remote_main(const RemoteArgs& args) {
+  LineClient cli;
+  std::string err;
+  if (!cli.connect(args.host, args.port, &err)) {
+    std::fprintf(stderr, "remote: %s\n", err.c_str());
+    return 1;
+  }
+
+  if (!args.tenant.empty() || args.budget >= 0) {
+    Request req;
+    req.type = RequestType::kHello;
+    req.tenant = args.tenant.empty() ? "default" : args.tenant;
+    req.budget = args.budget;
+    Response resp;
+    if (!remote_call(cli, req, &resp)) return 1;
+  }
+
+  if (args.stats) {
+    Request req;
+    req.type = RequestType::kStats;
+    Response r;
+    if (!remote_call(cli, req, &r)) return 1;
+    std::printf(
+        "server stats: queries=%lld l1=%lld l2=%lld l3=%lld miss=%lld\n"
+        "jobs: admitted=%lld rejected=%lld completed=%lld resumed=%lld "
+        "tenants=%lld\n",
+        static_cast<long long>(r.queries), static_cast<long long>(r.l1_hits),
+        static_cast<long long>(r.l2_hits), static_cast<long long>(r.l3_hits),
+        static_cast<long long>(r.misses),
+        static_cast<long long>(r.jobs_admitted),
+        static_cast<long long>(r.jobs_rejected),
+        static_cast<long long>(r.jobs_completed),
+        static_cast<long long>(r.jobs_resumed),
+        static_cast<long long>(r.tenants));
+  }
+
+  if (args.status_job >= 0) {
+    Request req;
+    req.type = RequestType::kStatus;
+    req.job = args.status_job;
+    Response r;
+    if (!remote_call(cli, req, &r)) return 1;
+    std::printf("job %lld %s", static_cast<long long>(r.job), r.state.c_str());
+    if (r.trials_used >= 0) {
+      std::printf("  trials_used=%lld", static_cast<long long>(r.trials_used));
+    }
+    if (r.latency_ms >= 0) {
+      std::printf("  net latency %s ms",
+                  json::format_double(r.latency_ms).c_str());
+    }
+    std::printf("\n");
+  }
+
+  if (!args.tune_network.empty()) {
+    Request req;
+    req.type = RequestType::kTune;
+    req.tenant = args.tenant.empty() ? "default" : args.tenant;
+    req.network = args.tune_network;
+    req.batch = args.batch;
+    req.trials = args.trials;
+    req.seed = args.seed;
+    req.policy = args.policy;
+    req.hw = args.hw;
+    Response r;
+    if (!remote_call(cli, req, &r)) return 1;
+    std::printf("job %lld admitted (%s)\n", static_cast<long long>(r.job),
+                r.state.c_str());
+    std::fflush(stdout);
+    if (args.wait) return remote_watch(cli, r.job);
+  }
+
+  if (args.watch_job >= 0) {
+    int rc = remote_watch(cli, args.watch_job);
+    if (rc != 0) return rc;
+  }
+
+  if (!args.task_spec.empty()) {
+    std::size_t slash = args.task_spec.find('/');
+    if (slash == std::string::npos || slash == 0 ||
+        slash + 1 >= args.task_spec.size()) {
+      std::fprintf(stderr, "--task wants NETWORK/SUBGRAPH, got \"%s\"\n",
+                   args.task_spec.c_str());
+      return 2;
+    }
+    std::string net_name = args.task_spec.substr(0, slash);
+    std::string sub_name = args.task_spec.substr(slash + 1);
+    Request req;
+    req.type = RequestType::kQuery;
+    req.network = net_name;
+    req.task = sub_name;
+    req.hw = args.hw;
+    int repeat = args.repeat < 1 ? 1 : args.repeat;
+    Response r;
+    std::vector<double> micros;
+    micros.reserve(static_cast<std::size_t>(repeat));
+    for (int i = 0; i < repeat; ++i) {
+      auto t0 = std::chrono::steady_clock::now();
+      if (!remote_call(cli, req, &r)) return 1;
+      auto t1 = std::chrono::steady_clock::now();
+      micros.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+    std::printf("query: %s/%s on %s (remote %s:%d)\n", net_name.c_str(),
+                sub_name.c_str(), args.hw.c_str(), args.host.c_str(),
+                args.port);
+    std::printf("tier: %s\n", r.tier.c_str());
+    if (r.tier == "miss") {
+      std::printf("no knowledge for this task; submit a tune request\n");
+    } else {
+      std::printf("schedule fingerprint: %llu\n",
+                  static_cast<unsigned long long>(r.schedule_fp));
+      if (r.score >= 0) {
+        std::printf("score: %s\n", json::format_double(r.score).c_str());
+      }
+      if (r.est_time_ms >= 0) {
+        std::printf("est_time_ms: %s\n",
+                    json::format_double(r.est_time_ms).c_str());
+      }
+      if (!r.record.empty()) std::printf("record: %s\n", r.record.c_str());
+    }
+    std::sort(micros.begin(), micros.end());
+    std::printf("lookup: server %s us, round-trip median %.1f us over %d "
+                "repeat(s)\n",
+                r.serve_us >= 0 ? json::format_double(r.serve_us).c_str() : "?",
+                micros[micros.size() / 2], repeat);
+    if (args.expect_best) {
+      bool hw_ok = false;
+      HardwareConfig hw = hardware_for(args.hw, &hw_ok);
+      if (!hw_ok) return 1;
+      if (args.logs.empty()) {
+        std::fprintf(stderr,
+                     "expect-best: remote mode needs --logs/--dir pointing at "
+                     "the daemon's record logs\n");
+        return 6;
+      }
+      return check_expect_best(args.logs, net_name, sub_name, hw.fingerprint(),
+                               r.tier, r.record);
+    }
+  }
+
+  if (args.do_shutdown) {
+    Request req;
+    req.type = RequestType::kShutdown;
+    Response r;
+    if (!remote_call(cli, req, &r)) return 1;
+    std::printf("shutdown acknowledged\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -101,6 +445,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> logs;
   int topk = 0, repeat = 1;
   bool tier_stats = false, expect_best = false, no_golden = false;
+  std::string connect_spec;
+  RemoteArgs remote;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -128,6 +474,32 @@ int main(int argc, char** argv) {
       expect_best = true;
     } else if (std::strcmp(argv[i], "--no-golden") == 0) {
       no_golden = true;
+    } else if (flag_value(argv[i], "--connect", &v)) {
+      connect_spec = v;
+    } else if (flag_value(argv[i], "--tenant", &v)) {
+      remote.tenant = v;
+    } else if (flag_value(argv[i], "--budget", &v)) {
+      remote.budget = std::atoll(v);
+    } else if (flag_value(argv[i], "--tune", &v)) {
+      remote.tune_network = v;
+    } else if (flag_value(argv[i], "--batch", &v)) {
+      remote.batch = std::atoll(v);
+    } else if (flag_value(argv[i], "--trials", &v)) {
+      remote.trials = std::atoll(v);
+    } else if (flag_value(argv[i], "--seed", &v)) {
+      remote.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (flag_value(argv[i], "--policy", &v)) {
+      remote.policy = v;
+    } else if (std::strcmp(argv[i], "--wait") == 0) {
+      remote.wait = true;
+    } else if (flag_value(argv[i], "--watch", &v)) {
+      remote.watch_job = std::atoll(v);
+    } else if (flag_value(argv[i], "--status", &v)) {
+      remote.status_job = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      remote.stats = true;
+    } else if (std::strcmp(argv[i], "--shutdown") == 0) {
+      remote.do_shutdown = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       usage(stdout);
       return 0;
@@ -136,6 +508,32 @@ int main(int argc, char** argv) {
       usage(stderr);
       return 2;
     }
+  }
+
+  if (!connect_spec.empty()) {
+    std::size_t colon = connect_spec.find(':');
+    if (colon == std::string::npos) {
+      remote.port = std::atoi(connect_spec.c_str());
+    } else {
+      remote.host = connect_spec.substr(0, colon);
+      remote.port = std::atoi(connect_spec.c_str() + colon + 1);
+    }
+    if (remote.port <= 0) {
+      std::fprintf(stderr, "--connect wants HOST:PORT or PORT, got \"%s\"\n",
+                   connect_spec.c_str());
+      return 2;
+    }
+    remote.task_spec = task_spec;
+    remote.hw = hw_name;
+    remote.repeat = repeat;
+    remote.expect_best = expect_best;
+    remote.logs = logs;
+    return remote_main(remote);
+  }
+  if (!remote.tune_network.empty() || remote.watch_job >= 0 ||
+      remote.status_job >= 0 || remote.stats || remote.do_shutdown) {
+    std::fprintf(stderr, "that flag needs --connect=HOST:PORT\n");
+    return 2;
   }
   if (task_spec.empty() && save_path.empty()) {
     usage(stderr);
@@ -260,41 +658,9 @@ int main(int argc, char** argv) {
   if (expect_best) {
     // The CI round-trip contract: the answer must be an L1 hit whose record
     // is byte-identical to the best record the logs hold for this triple.
-    if (result.tier != ServeTier::kL1) {
-      std::fprintf(stderr, "expect-best: answer came from %s, not L1\n",
-                   serve_tier_name(result.tier));
-      return 6;
-    }
-    std::string best;  // minimum under (time_ms asc, serialized asc)
-    double best_time = 0;
-    const std::uint64_t hw_fp = hw.fingerprint();
-    for (const std::string& log : logs) {
-      for (const TuningRecord& rec : read_records(log)) {
-        if (rec.network != net_name || rec.task != sub_name ||
-            rec.hardware_fp != hw_fp || !(rec.time_ms > 0)) {
-          continue;
-        }
-        std::string line = record_to_json(rec);
-        if (best.empty() || rec.time_ms < best_time ||
-            (rec.time_ms == best_time && line < best)) {
-          best_time = rec.time_ms;
-          best = std::move(line);
-        }
-      }
-    }
-    if (best.empty()) {
-      std::fprintf(stderr, "expect-best: the logs hold no record for %s/%s\n",
-                   net_name.c_str(), sub_name.c_str());
-      return 6;
-    }
-    if (record_to_json(result.record) != best) {
-      std::fprintf(stderr,
-                   "expect-best: served record differs from the log best\n"
-                   "  served: %s\n  best:   %s\n",
-                   record_to_json(result.record).c_str(), best.c_str());
-      return 6;
-    }
-    std::printf("expect-best: L1 bit-identity OK\n");
+    return check_expect_best(logs, net_name, sub_name, hw.fingerprint(),
+                             serve_tier_name(result.tier),
+                             record_to_json(result.record));
   }
   return 0;
 }

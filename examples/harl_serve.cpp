@@ -1,0 +1,136 @@
+/// Tuning-as-a-service daemon: serve schedule queries from per-hardware
+/// knowledge caches in microseconds and run admitted tuning jobs on a shared
+/// fleet pool, over a versioned line-JSON protocol on 127.0.0.1 (see
+/// docs/PROTOCOL.md).  SIGTERM/SIGINT drain gracefully: running jobs
+/// checkpoint at their next round boundary and a restarted daemon resumes
+/// them bit-identically from the same state directory.
+///
+///   harl_serve --state-dir=DIR [--port=N] [--max-concurrent=N]
+///              [--default-budget=N] [--max-job-trials=N] [--refresh=N]
+///              [--no-golden] [--quiet]
+///
+///   --state-dir=DIR       durable root: per-hardware record logs + caches,
+///                         the jobs.jsonl journal, and the `port` file
+///   --port=N              TCP port on 127.0.0.1 (default 0 = ephemeral;
+///                         the chosen port is written to DIR/port)
+///   --max-concurrent=N    tuning jobs run at once (default 2)
+///   --default-budget=N    trial budget a new tenant starts with
+///                         (default 100000; `hello` can raise it)
+///   --max-job-trials=N    per-job trial cap at admission (default 10000)
+///   --refresh=N           in-run experience refresh period in rounds
+///                         (default 0 = off, keeping restart resume
+///                         bit-identical)
+///   --no-golden           report misses instead of golden advice (L3)
+///   --quiet               suppress the startup banner
+///   --help                print usage and exit
+///
+/// Exit codes: 0 clean shutdown, 1 setup error, 2 usage error.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/harl.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+using namespace harl;
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: harl_serve --state-dir=DIR [--port=N]\n"
+               "                  [--max-concurrent=N] [--default-budget=N]\n"
+               "                  [--max-job-trials=N] [--refresh=N]\n"
+               "                  [--no-golden] [--quiet] [--help]\n");
+}
+
+HarlServer* g_server = nullptr;
+
+/// Async-signal-safe: one atomic store; serve_forever() does the drain.
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions opts;
+  opts.tuning = quick_options(PolicyKind::kHarl);
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (flag_value(argv[i], "--state-dir", &v)) {
+      opts.state_dir = v;
+    } else if (flag_value(argv[i], "--port", &v)) {
+      opts.port = std::atoi(v);
+    } else if (flag_value(argv[i], "--max-concurrent", &v)) {
+      opts.max_concurrent = std::atoi(v);
+    } else if (flag_value(argv[i], "--default-budget", &v)) {
+      opts.default_budget = std::atoll(v);
+    } else if (flag_value(argv[i], "--max-job-trials", &v)) {
+      opts.max_job_trials = std::atoll(v);
+    } else if (flag_value(argv[i], "--refresh", &v)) {
+      opts.refresh_period = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--no-golden") == 0) {
+      opts.golden_advice = false;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (opts.state_dir.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  if (opts.max_concurrent < 1) opts.max_concurrent = 1;
+
+  HarlServer server(std::move(opts));
+  g_server = &server;
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "harl_serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("harl_serve: listening on 127.0.0.1:%d\n", server.port());
+    ServerStats s = server.stats();
+    if (s.jobs_resumed > 0) {
+      std::printf("harl_serve: resumed %lld unfinished job(s) from the journal\n",
+                  static_cast<long long>(s.jobs_resumed));
+    }
+    std::fflush(stdout);
+  }
+
+  server.serve_forever();
+
+  if (!quiet) {
+    ServerStats s = server.stats();
+    std::printf(
+        "harl_serve: drained (queries=%lld l1=%lld jobs done=%lld resumed=%lld)\n",
+        static_cast<long long>(s.queries), static_cast<long long>(s.l1_hits),
+        static_cast<long long>(s.jobs_completed),
+        static_cast<long long>(s.jobs_resumed));
+  }
+  g_server = nullptr;
+  return 0;
+}

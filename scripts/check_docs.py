@@ -22,6 +22,10 @@ Two checks, both against the working tree (no build needed):
    ``docs/RECORD_SCHEMA.md`` (as a backticked ``key``).  Per-stage keys use
    a different receiver and are covered by the ``stages`` row.
 
+4. Protocol-schema drift: every wire field the harl_serve protocol
+   serializer writes (``obj.set("key", ...)`` in
+   ``src/server/protocol.cpp``) must be documented in ``docs/PROTOCOL.md``.
+
 Exit 0 when clean, 1 with a per-violation report otherwise.
 """
 
@@ -40,6 +44,7 @@ CLI_SOURCES = [
     "examples/tune_network.cpp",
     "examples/harl_harvest.cpp",
     "examples/harl_query.cpp",
+    "examples/harl_serve.cpp",
 ]
 
 SKIP_DIRS = {".git", "build", "build-asan", ".claude"}
@@ -125,18 +130,40 @@ def check_record_schema(errors):
             )
 
 
+def check_protocol_schema(errors):
+    """Every wire field the protocol serializer writes must be documented.
+
+    Same contract as the record schema: ``obj.set("key", ...)`` calls in
+    ``src/server/protocol.cpp`` against backticked keys in
+    ``docs/PROTOCOL.md``.
+    """
+    with open(
+        os.path.join(REPO, "src", "server", "protocol.cpp"), encoding="utf-8"
+    ) as f:
+        keys = set(RECORD_KEY.findall(f.read()))
+    with open(os.path.join(REPO, "docs", "PROTOCOL.md"), encoding="utf-8") as f:
+        doc = f.read()
+    for key in sorted(keys):
+        if f"`{key}`" not in doc:
+            errors.append(
+                f"docs/PROTOCOL.md: wire field `{key}` "
+                "(src/server/protocol.cpp) is undocumented"
+            )
+
+
 def main():
     errors = []
     check_links(errors)
     check_flag_drift(errors)
     check_record_schema(errors)
+    check_protocol_schema(errors)
     if errors:
         print(f"check_docs: {len(errors)} problem(s)")
         for e in errors:
             print(f"  {e}")
         return 1
-    print("check_docs: markdown links, CLI flag docs, and the record schema "
-          "are consistent")
+    print("check_docs: markdown links, CLI flag docs, and the record and "
+          "protocol schemas are consistent")
     return 0
 
 

@@ -2,14 +2,21 @@
 
 /// \file fleet.hpp
 /// FleetTuner: many networks tuned concurrently on one shared worker pool —
-/// the multi-tenant serving entry point, with per-workload durable logs, warm
-/// start, async callback dispatch, and in-run experience refresh.  Invariant:
-/// without refresh, each network's result is bit-identical to tuning it alone.
-/// Collaborators: TuningSession, RecordLogger, resume, ExperienceRefresher.
+/// the multi-tenant serving engine, with per-workload durable logs, warm
+/// start, async callback dispatch, in-run experience refresh, and *live*
+/// workload submission (`start`/`submit`) so a long-lived daemon can feed
+/// jobs into a running fleet.  Invariant: without refresh, each network's
+/// result is bit-identical to tuning it alone.  Collaborators:
+/// TuningSession, RecordLogger, resume, ExperienceRefresher, HarlServer.
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/tuning.hpp"
@@ -32,6 +39,17 @@ struct FleetWorkload {
   std::vector<TuningCallback*> callbacks;
 };
 
+/// Lifecycle of one queued workload (the daemon's job states).
+enum class FleetJobState {
+  kQueued,   ///< waiting for a fleet worker
+  kRunning,  ///< a worker is tuning it now
+  kStopped,  ///< interrupted by `drain()` mid-budget; its log is a
+             ///< complete-round checkpoint a future run resumes from
+  kDone,     ///< budget spent (or search saturated); result is final
+};
+
+const char* fleet_job_state_name(FleetJobState state);
+
 /// Per-network outcome of a fleet run.
 struct FleetNetworkResult {
   std::string name;
@@ -48,6 +66,14 @@ struct FleetNetworkResult {
   std::uint64_t bus_dropped = 0;     ///< async-bus events evicted (kDropOldest)
   std::uint64_t bus_rejected = 0;    ///< async-bus events rejected (kFail)
   std::uint64_t bus_consumer_errors = 0;  ///< consumer exceptions swallowed by the bus
+  /// False when `drain()` stopped the session before its budget was spent —
+  /// the workload is checkpointed, not finished, and should be resubmitted
+  /// (its log warm-starts the rerun bit-identically).
+  bool completed = true;
+  /// First finite network-latency estimate minus the final one (ms): the
+  /// observed improvement this run bought.  Feeds the server's Eq. 3
+  /// cross-tenant gradient as the backward (observed-rate) term.
+  double latency_gain_ms = 0;
 };
 
 /// Aggregated outcome of `FleetTuner::run`.
@@ -66,11 +92,20 @@ struct FleetReport {
 /// tuning requests from many models/users at once.
 ///
 /// Concurrency has two levels, mirroring the engine's design:
-///   - each workload runs as its own `TuningSession` on a fleet thread
-///     (bounded by `Options::max_concurrent`),
+///   - each workload runs as its own `TuningSession` on a fleet worker
+///     thread (bounded by `Options::max_concurrent`),
 ///   - every session's batched measurement and candidate scoring dispatch
 ///     onto the one shared `Options::measure_pool` (caller-participating, so
 ///     sessions never deadlock on a small pool).
+///
+/// Two driving modes share the same engine:
+///   - **batch**: `add()` workloads, then `run()` — tunes everything queued
+///     and blocks until all budgets are spent (each `run()` re-runs the full
+///     fleet from scratch);
+///   - **incremental** (the daemon mode): `start()` the workers once, then
+///     `submit()` workloads at any time from any thread; completions are
+///     reported through `Options::on_complete`, `drain()` checkpoints
+///     running sessions at a round boundary, and `stop()` joins.
 ///
 /// Results per network are bit-identical to tuning that network alone with
 /// the same options: sessions share threads but no tuning state, and all
@@ -128,7 +163,7 @@ class FleetTuner {
     /// fleet-shared `KnowledgeCacheUpdater` observes every session and folds
     /// each committed measurement into this cache, so concurrent `serve`
     /// queries see new bests within one callback delivery.  Not owned; must
-    /// outlive `run()`.
+    /// outlive the fleet's running phase.
     KnowledgeCache* knowledge_cache = nullptr;
     /// Republish the cache file every this many observed rounds (and once
     /// at the end of each session).  <= 0 disables periodic publishes.
@@ -137,43 +172,110 @@ class FleetTuner {
     /// derives `<log_dir>/knowledge.cache.json`; empty otherwise keeps the
     /// cache in-memory only.
     std::string cache_save_path;
+    /// Incremental-mode completion hook: called on the fleet worker thread
+    /// after a workload finishes (or is drained — check
+    /// `FleetNetworkResult::completed`).  May call `submit()`; must not
+    /// block for long (it occupies a tuning worker).
+    std::function<void(int index, const FleetNetworkResult&)> on_complete;
   };
 
   FleetTuner() = default;
-  explicit FleetTuner(Options opts) : opts_(opts) {}
+  explicit FleetTuner(Options opts) : opts_(std::move(opts)) {}
+  ~FleetTuner();
 
-  /// Queues a workload; returns its index (stable across `run`).
+  FleetTuner(const FleetTuner&) = delete;
+  FleetTuner& operator=(const FleetTuner&) = delete;
+
+  /// Queues a workload; returns its index (stable across `run`).  Does not
+  /// enqueue for a running fleet — `run()` executes everything added, or use
+  /// `submit()` in incremental mode.
   int add(FleetWorkload workload);
 
-  int num_workloads() const { return static_cast<int>(workloads_.size()); }
+  int num_workloads() const;
 
   /// Tunes every queued workload and blocks until all budgets are spent.
   /// Callable repeatedly; each call re-runs the full fleet from scratch.
   FleetReport run();
 
+  // ---- incremental mode (the daemon's engine) --------------------------
+  /// Spawns the worker threads and initializes the fleet-shared state
+  /// (log dir, pretrained model, refresher, cache updater).  Idempotent.
+  void start();
+  bool started() const;
+  /// Thread-safe: queue `workload` into the running fleet and return its
+  /// index.  Requires `start()`; a fleet worker picks it up as soon as one
+  /// is free.
+  int submit(FleetWorkload workload);
+  /// Graceful drain: stop dequeuing new workloads and ask every *running*
+  /// session to stop at its next round boundary (`TuningSession::
+  /// request_stop`).  Their durable logs then hold complete-round
+  /// checkpoints; resubmitting the same workload (same identity) to a fresh
+  /// fleet resumes each one bit-identically.  Queued-but-unstarted
+  /// workloads stay `kQueued`.
+  void drain();
+  /// Blocks until no workload is queued (unless draining) or running.
+  void wait_idle();
+  /// Joins the workers after they finish the queue (or immediately after
+  /// in-flight sessions return, when draining).  Idempotent.
+  void stop();
+
+  /// Lifecycle of workload `i` (thread-safe).
+  FleetJobState workload_state(int i) const;
+  /// Result snapshot of workload `i` (meaningful once kDone/kStopped).
+  FleetNetworkResult result(int i) const;
+  /// Aggregated snapshot over every finished workload, in index order.
+  FleetReport report() const;
+
   /// Sessions of the most recent `run()`, indexed like the workloads
   /// (empty before the first run).
-  const TuningSession& session(int i) const { return *sessions_.at(static_cast<std::size_t>(i)); }
-  TuningSession& session(int i) { return *sessions_.at(static_cast<std::size_t>(i)); }
+  const TuningSession& session(int i) const;
+  TuningSession& session(int i);
 
   /// The record-log path workload `i` uses under `Options::log_dir`.
   std::string log_path(int i) const;
 
-  /// The fleet-shared in-run refresher of the most recent `run()` (nullptr
-  /// when `Options::refresh_period == 0`).  Exposed for stats and tests.
+  /// The fleet-shared in-run refresher (nullptr when
+  /// `Options::refresh_period == 0`).  Exposed for stats and tests.
   const ExperienceRefresher* refresher() const { return refresher_.get(); }
 
-  /// The fleet-shared cache updater of the most recent `run()` (nullptr when
+  /// The fleet-shared cache updater (nullptr when
   /// `Options::knowledge_cache == nullptr`).  Exposed for stats and tests.
   const KnowledgeCacheUpdater* cache_updater() const {
     return cache_updater_.get();
   }
 
  private:
+  void init_shared_state_locked();
+  void worker_loop();
+  void tune_one(std::size_t i);
+  std::string log_path_locked(std::size_t i) const;
+  FleetReport report_locked() const;
+
   Options opts_;
-  std::vector<FleetWorkload> workloads_;
-  std::vector<std::unique_ptr<TuningSession>> sessions_;
-  std::vector<std::unique_ptr<RecordLogger>> loggers_;  ///< one per workload when logging
+
+  // All containers are indexed only under `mu_`; elements are reached
+  // through pointers taken under the lock (std::deque keeps references
+  // stable across push_back, so a worker's workload/session pointers
+  // survive concurrent submits).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< wakes workers (submit/stop/drain)
+  std::condition_variable idle_cv_;   ///< wakes wait_idle
+  std::deque<FleetWorkload> workloads_;
+  std::deque<std::unique_ptr<TuningSession>> sessions_;
+  std::deque<std::unique_ptr<RecordLogger>> loggers_;  ///< one per workload when logging
+  std::deque<FleetNetworkResult> results_;
+  std::deque<FleetJobState> states_;
+  std::deque<std::size_t> pending_;   ///< indices waiting for a worker
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stop_ = false;      ///< workers exit once the queue allows
+  bool draining_ = false;  ///< no new dequeues; running sessions stop early
+  int active_ = 0;         ///< workloads currently running
+  bool logging_ = false;   ///< log_dir usable (created successfully)
+
+  // Fleet-shared state, initialized by start() before any worker runs.
+  std::shared_ptr<const Gbdt> fleet_pretrained_;
+  std::uint64_t fleet_pretrained_fp_ = 0;
   std::unique_ptr<ExperienceRefresher> refresher_;      ///< when refresh_period > 0
   std::unique_ptr<KnowledgeCacheUpdater> cache_updater_;  ///< when knowledge_cache set
 };

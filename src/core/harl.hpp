@@ -21,6 +21,8 @@
 ///   exp        - experience subsystem: offline harvest + GBDT pre-training,
 ///                in-run refresh, log compaction, scored history transfer
 ///   core       - TuningSession entry point, option presets, fleet tuner
+///   server     - tuning-as-a-service daemon: line-JSON protocol, tenant
+///                budgets, job journal, subscription streaming, line client
 
 #include "bandit/sw_ucb.hpp"
 #include "core/fleet.hpp"
@@ -58,6 +60,11 @@
 #include "search/adaptive_stopping.hpp"
 #include "search/task_scheduler.hpp"
 #include "search/task_select.hpp"
+#include "serve/knowledge_cache.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/tenant.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"

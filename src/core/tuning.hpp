@@ -41,6 +41,12 @@ class TuningSession {
   /// Spend `trials` measurement trials (cumulative across calls).
   void run(std::int64_t trials);
 
+  /// Ask a running `run()` to return at the next round boundary (thread-safe)
+  /// — the daemon drain path.  The session's durable log then holds a
+  /// complete-round checkpoint `resume_session` restores bit-identically.
+  void request_stop() { scheduler_->request_stop(); }
+  bool stop_requested() const { return scheduler_->stop_requested(); }
+
   /// Subscribes `cb` (not owned) to this session's tuning events — rounds,
   /// new bests, committed records, task completion.  `RecordLogger` makes a
   /// run durable this way; `resume_session` (io/resume.hpp) restores one.

@@ -253,16 +253,32 @@ void TaskScheduler::run(Measurer& measurer, std::int64_t total_trials) {
   // more rounds cannot consume budget — bail instead of spinning.
   const int max_stalled = 2 * num_tasks() + 8;
   int stalled = 0;
+  RunExit exit = RunExit::kBudget;
   while (measurer.trials_used() - start < total_trials) {
+    // Stop requests are honored at round boundaries only: the round in
+    // flight commits and reaches the callbacks (logger flush included), so
+    // the log ends on a complete round and resumes bit-identically.
+    if (stop_requested()) {
+      exit = RunExit::kStopped;
+      break;
+    }
     RoundResult r = run_round(measurer);
     if (r.trials_consumed == 0) {
-      if (++stalled >= max_stalled) break;
+      if (++stalled >= max_stalled) {
+        exit = RunExit::kSaturated;
+        break;
+      }
     } else {
       stalled = 0;
     }
   }
-  for (int n = 0; n < num_tasks(); ++n) {
-    callbacks_.emit_task_complete(*this, n);
+  last_run_exit_ = exit;
+  // A stopped run is a checkpoint, not a completion: tasks are still
+  // mid-budget, so `on_task_complete` would lie to observers.
+  if (exit != RunExit::kStopped) {
+    for (int n = 0; n < num_tasks(); ++n) {
+      callbacks_.emit_task_complete(*this, n);
+    }
   }
   // Budget complete: drain async dispatchers so every event of this run has
   // reached its consumers (loggers flushed, refreshers up to date) before

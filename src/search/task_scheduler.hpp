@@ -8,6 +8,7 @@
 /// (options + seed + experience fingerprint).  Collaborators: policies,
 /// selectors, Measurer, io/callbacks, io/async_bus.
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -193,6 +194,28 @@ class TaskScheduler {
   /// can make progress.
   void run(Measurer& measurer, std::int64_t total_trials);
 
+  /// Why the most recent `run()` returned.  `kStopped` means a
+  /// `request_stop()` interrupted the budget — the run is checkpointed at a
+  /// round boundary, not complete.
+  enum class RunExit { kNone, kBudget, kSaturated, kStopped };
+  RunExit last_run_exit() const { return last_run_exit_; }
+
+  /// Ask a running `run()` to return at the next round boundary (thread-safe;
+  /// callable from any thread, e.g. a daemon's SIGTERM drain).  The round in
+  /// flight completes — and its records reach every callback, so a per-round
+  /// logger's file ends on a whole round — before the loop exits without
+  /// emitting `on_task_complete`.  Because the record log is flushed per
+  /// round, a stopped session is exactly the durable checkpoint
+  /// `resume_session` resumes bit-identically from.  Sticky until
+  /// `clear_stop_request()`.
+  void request_stop() { stop_requested_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+  void clear_stop_request() {
+    stop_requested_.store(false, std::memory_order_relaxed);
+  }
+
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
   TaskState& task(int i) { return *tasks_.at(static_cast<std::size_t>(i)); }
   const TaskState& task(int i) const { return *tasks_.at(static_cast<std::size_t>(i)); }
@@ -268,6 +291,8 @@ class TaskScheduler {
   std::vector<std::unique_ptr<SearchPolicy>> policies_;
   std::unique_ptr<TaskSelector> selector_;
   std::uint64_t experience_fp_ = 0;
+  std::atomic<bool> stop_requested_{false};
+  RunExit last_run_exit_ = RunExit::kNone;
   std::vector<RoundLog> round_log_;
   std::int64_t run_start_trials_ = -1;  ///< trials_used() at the start of run()
   CallbackBus callbacks_;

@@ -1,0 +1,121 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace harl {
+
+namespace {
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+bool LineClient::connect(const std::string& host, int port,
+                         std::string* error) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = errno_string("socket");
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host address \"" + host + "\"";
+    close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = errno_string(("connect " + host + ":" + std::to_string(port)).c_str());
+    }
+    close();
+    return false;
+  }
+  // Queries are single small lines; latency matters more than batching.
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+bool LineClient::send_line(const std::string& line, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  std::string wire = line;
+  wire += '\n';
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errno_string("send");
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineClient::recv_line(std::string* line, std::string* error,
+                           int timeout_ms) {
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "not connected";
+    return false;
+  }
+  for (;;) {
+    std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      *line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errno_string("poll");
+      return false;
+    }
+    if (rc == 0) {
+      if (error != nullptr) *error = "timed out waiting for a reply line";
+      return false;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errno_string("recv");
+      return false;
+    }
+    if (n == 0) {
+      if (error != nullptr) *error = "connection closed by server";
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void LineClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+}  // namespace harl

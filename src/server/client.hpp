@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file client.hpp
+/// LineClient: a minimal blocking line-protocol TCP client for harl_serve —
+/// connect to 127.0.0.1:<port>, send one JSON line, read reply lines.  Used
+/// by `harl_query --connect`, bench_serve, and the server tests; the wire
+/// format itself lives in protocol.hpp.  Invariant: recv_line returns
+/// exactly one newline-terminated line per call (buffered), never a torn
+/// one.  Collaborators: HarlServer, protocol.
+
+#include <cstdint>
+#include <string>
+
+namespace harl {
+
+/// Blocking TCP line client (POSIX sockets, loopback use).
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient() { close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Connect to `host`:`port`.  Returns false and fills `*error` on failure.
+  bool connect(const std::string& host, int port, std::string* error);
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send `line` plus a terminating newline.  Returns false on a broken
+  /// connection.
+  bool send_line(const std::string& line, std::string* error);
+
+  /// Read one line (newline stripped).  Blocks up to `timeout_ms`; returns
+  /// false on timeout, EOF, or error, with a reason in `*error`.
+  bool recv_line(std::string* line, std::string* error,
+                 int timeout_ms = 30000);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace harl

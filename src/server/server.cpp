@@ -1,0 +1,891 @@
+#include "server/server.hpp"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "exp/experience.hpp"
+#include "io/json.hpp"
+#include "io/safe_file.hpp"
+#include "util/logging.hpp"
+#include "workloads/networks.hpp"
+
+namespace harl {
+
+namespace {
+
+/// mkdir -p (EEXIST is fine).  Returns false on the first hard failure.
+bool make_dirs(const std::string& dir) {
+  std::size_t pos = 0;
+  while (pos != std::string::npos) {
+    pos = dir.find('/', pos + 1);
+    std::string prefix = dir.substr(0, pos);
+    if (!prefix.empty() && ::mkdir(prefix.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> jsonl_files(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 6 && name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      out.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Resolve a hardware preset name to its canonical shard name + config.
+bool hardware_preset(const std::string& name, std::string* canon,
+                     HardwareConfig* hw) {
+  if (name.empty() || name == "xeon" || name == "xeon_6226r") {
+    *canon = "xeon";
+    *hw = HardwareConfig::xeon_6226r();
+    return true;
+  }
+  if (name == "rtx3090" || name == "gpu") {
+    *canon = "rtx3090";
+    *hw = HardwareConfig::rtx3090();
+    return true;
+  }
+  if (name == "test") {
+    *canon = "test";
+    *hw = HardwareConfig::test_config();
+    return true;
+  }
+  return false;
+}
+
+bool known_network_base(const std::string& base) {
+  const std::vector<std::string>& names = network_names();
+  return std::find(names.begin(), names.end(), base) != names.end();
+}
+
+Response error_response(std::string message) {
+  Response resp;
+  resp.ok = false;
+  resp.error = std::move(message);
+  return resp;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- streaming
+
+/// Per-job server-side TuningCallback: turns scheduler events into protocol
+/// event lines for the job's subscribers.  Registered through the workload's
+/// callback list, so with the fleet's async bus enabled it runs on the
+/// session's dispatcher thread — a slow subscriber socket never stalls the
+/// tuning hot loop (the bus absorbs, then sheds, the backlog).
+class HarlServer::ProgressPublisher : public TuningCallback {
+ public:
+  ProgressPublisher(HarlServer* server, std::int64_t job)
+      : server_(server), job_(job) {}
+
+  void on_round(const TaskScheduler& scheduler,
+                const RoundEvent& round) override {
+    Response ev;
+    ev.ok = true;
+    ev.event = "round";
+    ev.job = job_;
+    ev.round = static_cast<std::int64_t>(round.round_index);
+    ev.trials_after = round.trials_after;
+    if (std::isfinite(round.net_latency_ms)) {
+      ev.net_latency_ms = round.net_latency_ms;
+    }
+    if (round.task >= 0) ev.task = scheduler.task(round.task).graph().name();
+    server_->publish_event(job_, ev, /*terminal=*/false);
+  }
+
+  void on_new_best(const TaskScheduler& scheduler, int task,
+                   const MeasuredRecord& best) override {
+    Response ev;
+    ev.ok = true;
+    ev.event = "best";
+    ev.job = job_;
+    if (task >= 0) ev.task = scheduler.task(task).graph().name();
+    ev.est_time_ms = best.time_ms;
+    double net = scheduler.estimated_latency_ms();
+    if (std::isfinite(net)) ev.net_latency_ms = net;
+    server_->publish_event(job_, ev, /*terminal=*/false);
+  }
+
+ private:
+  HarlServer* server_;
+  std::int64_t job_;
+};
+
+/// One accepted client socket: its own reader thread, a write mutex so
+/// request replies and subscription events interleave without tearing lines.
+struct HarlServer::Connection {
+  int fd = -1;
+  std::mutex write_mu;
+  std::atomic<bool> dead{false};
+  std::thread thread;
+  std::string buffer;
+};
+
+// ---------------------------------------------------------------- lifecycle
+
+HarlServer::HarlServer(ServerOptions opts)
+    : opts_(std::move(opts)),
+      registry_(opts_.default_budget, opts_.gradient_alpha),
+      resolver_(make_builtin_resolver()) {}
+
+HarlServer::~HarlServer() { shutdown(); }
+
+std::string HarlServer::shard_dir(const std::string& name) const {
+  return opts_.state_dir + "/" + name;
+}
+
+bool HarlServer::start(std::string* error) {
+  if (opts_.state_dir.empty()) {
+    if (error != nullptr) *error = "ServerOptions::state_dir is required";
+    return false;
+  }
+  if (!make_dirs(opts_.state_dir)) {
+    if (error != nullptr) {
+      *error = "cannot create state dir " + opts_.state_dir + ": " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  if (!recover(error)) return false;
+  {
+    std::lock_guard<std::mutex> lk(journal_mu_);
+    journal_ = std::fopen((opts_.state_dir + "/jobs.jsonl").c_str(), "a");
+    if (journal_ == nullptr) {
+      if (error != nullptr) {
+        *error = "cannot open journal " + opts_.state_dir + "/jobs.jsonl: " +
+                 std::strerror(errno);
+      }
+      return false;
+    }
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind 127.0.0.1:" + std::to_string(opts_.port) + ": " +
+               std::strerror(errno);
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  // Publish the bound port for scripts (ephemeral ports especially).
+  std::string werr;
+  if (!atomic_write_file(opts_.state_dir + "/port",
+                         std::to_string(port_) + "\n", false, &werr)) {
+    HARL_LOG_WARN("server: cannot write port file: %s", werr.c_str());
+  }
+
+  // Re-dispatch journaled jobs that never finished: same workload identity,
+  // same log file — the fleet salvages + resumes each one bit-identically.
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    dispatch_locked();
+  }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HarlServer::serve_forever() {
+  while (!shutdown_requested_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  shutdown();
+}
+
+void HarlServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (shutdown_done_) return;
+    shutdown_done_ = true;
+  }
+  shutdown_requested_.store(true);
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  // Checkpoint: ask every running session to stop at its next round
+  // boundary, then wait the fleets out.  Incomplete jobs get no done marker,
+  // so the next start() re-admits them.  wait_idle() runs without jobs_mu_:
+  // completions need that lock to record themselves.
+  std::vector<FleetTuner*> fleets;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    for (auto& kv : shards_) {
+      if (kv.second->fleet != nullptr) fleets.push_back(kv.second->fleet.get());
+    }
+  }
+  for (FleetTuner* fleet : fleets) fleet->drain();
+  for (FleetTuner* fleet : fleets) {
+    fleet->wait_idle();
+    fleet->stop();
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(journal_mu_);
+    if (journal_ != nullptr) {
+      std::fclose(journal_);
+      journal_ = nullptr;
+    }
+  }
+
+  // Connection threads poll the shutdown flag; join them all.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    subscribers_.clear();
+  }
+}
+
+// ---------------------------------------------------------------- journal
+
+void HarlServer::journal_append(const std::string& line) {
+  std::lock_guard<std::mutex> lk(journal_mu_);
+  if (journal_ == nullptr) return;
+  std::fputs(line.c_str(), journal_);
+  std::fputc('\n', journal_);
+  // Flush line-by-line: a crash loses at most the line in flight, and the
+  // reader tolerates a torn tail (same discipline as the record logs).
+  std::fflush(journal_);
+}
+
+bool HarlServer::recover(std::string* error) {
+  (void)error;
+  std::string text;
+  std::string rerr;
+  if (!read_text_file(opts_.state_dir + "/jobs.jsonl", &text, &rerr)) {
+    return true;  // no journal: a fresh daemon
+  }
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: the crash window
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    json::ParseError perr;
+    json::Value doc = json::parse(line, &perr);
+    if (!perr.ok || !doc.is_object()) continue;  // tolerant replay
+    const json::Value* ev = doc.find("ev");
+    if (ev == nullptr || !ev->is_string()) continue;
+    if (ev->as_string() == "tenant") {
+      const json::Value* name = doc.find("tenant");
+      const json::Value* budget = doc.find("budget");
+      if (name != nullptr && name->is_string()) {
+        registry_.ensure(name->as_string(),
+                         budget != nullptr ? budget->as_int64(-1) : -1);
+      }
+    } else if (ev->as_string() == "job") {
+      Job job;
+      const json::Value* id = doc.find("job");
+      if (id == nullptr || !id->is_number()) continue;
+      job.id = id->as_int64(0);
+      if (const json::Value* v = doc.find("tenant")) job.tenant = v->as_string();
+      if (const json::Value* v = doc.find("network")) job.network = v->as_string();
+      if (const json::Value* v = doc.find("batch")) job.batch = v->as_int64(1);
+      if (const json::Value* v = doc.find("hw")) job.hw = v->as_string();
+      if (const json::Value* v = doc.find("trials")) job.trials = v->as_int64(0);
+      if (const json::Value* v = doc.find("seed")) job.seed = v->as_uint64(42);
+      if (const json::Value* v = doc.find("policy")) job.policy = v->as_string();
+      if (job.id <= 0 || job.trials <= 0 || !known_network_base(job.network)) {
+        continue;
+      }
+      // The journal is the admission authority: charge the tenant exactly
+      // what the original admission did, budgets-of-today notwithstanding.
+      registry_.force_admit(job.tenant, job.trials);
+      jobs_admitted_ += 1;
+      next_job_id_ = std::max(next_job_id_, job.id + 1);
+      jobs_[job.id] = std::move(job);
+    } else if (ev->as_string() == "done") {
+      const json::Value* id = doc.find("job");
+      if (id == nullptr || !id->is_number()) continue;
+      auto it = jobs_.find(id->as_int64(0));
+      if (it == jobs_.end()) continue;
+      it->second.done = true;
+      it->second.state = FleetJobState::kDone;
+      jobs_completed_ += 1;
+      // Keep the charge (trials were spent); record the completion so the
+      // selector's backward term starts neutral, not stale.
+      registry_.on_job_complete(it->second.tenant, it->second.trials, -1, 0);
+    }
+  }
+  // Jobs without a done marker were in flight or queued when the daemon
+  // died: re-admit them in id order (their logs warm-start the rerun).
+  for (auto& kv : jobs_) {
+    if (!kv.second.done) {
+      pending_.push_back(kv.first);
+      jobs_resumed_ += 1;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------- shards
+
+HarlServer::Shard* HarlServer::shard_for_locked(const std::string& hw_name) {
+  auto it = shards_.find(hw_name);
+  if (it != shards_.end()) return it->second.get();
+
+  std::string canon;
+  HardwareConfig hw;
+  if (!hardware_preset(hw_name, &canon, &hw)) return nullptr;
+
+  KnowledgeCacheOptions copts;
+  copts.golden_advice = opts_.golden_advice;
+  auto shard = std::make_unique<Shard>(copts);
+  shard->name = canon;
+  shard->hw = hw;
+  std::string dir = shard_dir(canon);
+  make_dirs(dir);
+  // Hydrate from the shard's record logs: the cache is a pure function of
+  // the record set, so replaying the logs beats trusting a maybe-stale
+  // cache file (which remains published for external consumers).
+  for (const std::string& log : jsonl_files(dir)) {
+    shard->cache.insert_log(log);
+  }
+
+  FleetTuner::Options fopts;
+  fopts.max_concurrent = opts_.max_concurrent;
+  fopts.log_dir = dir;
+  fopts.knowledge_cache = &shard->cache;
+  fopts.cache_save_period = opts_.cache_save_period;
+  fopts.cache_save_path = dir + "/knowledge.cache.json";
+  fopts.refresh_period = opts_.refresh_period;
+  fopts.async_callbacks.enabled = true;
+  std::string shard_name = canon;
+  fopts.on_complete = [this, shard_name](int index,
+                                         const FleetNetworkResult& result) {
+    handle_fleet_complete(shard_name, index, result);
+  };
+  shard->fleet = std::make_unique<FleetTuner>(std::move(fopts));
+  shard->fleet->start();
+
+  Shard* out = shard.get();
+  shards_.emplace(canon, std::move(shard));
+  return out;
+}
+
+// ---------------------------------------------------------------- dispatch
+
+void HarlServer::dispatch_locked() {
+  while (active_jobs_ < opts_.max_concurrent && !pending_.empty()) {
+    // Cross-tenant Eq. 3: pick the tenant, then FIFO within the tenant.
+    std::vector<std::string> tenants;
+    for (std::int64_t id : pending_) {
+      const std::string& t = jobs_[id].tenant;
+      if (std::find(tenants.begin(), tenants.end(), t) == tenants.end()) {
+        tenants.push_back(t);
+      }
+    }
+    int winner = registry_.pick(tenants);
+    if (winner < 0) return;
+    const std::string& tenant = tenants[static_cast<std::size_t>(winner)];
+    auto slot = std::find_if(pending_.begin(), pending_.end(),
+                             [&](std::int64_t id) {
+                               return jobs_[id].tenant == tenant;
+                             });
+    if (slot == pending_.end()) return;  // unreachable; defensive
+    Job& job = jobs_[*slot];
+
+    Shard* shard = shard_for_locked(job.hw);
+    if (shard == nullptr) {
+      // Journal recovered with an unknown preset (config drift): drop it.
+      HARL_LOG_WARN("server: job %lld has unknown hw \"%s\"; dropped",
+                    static_cast<long long>(job.id), job.hw.c_str());
+      job.done = true;
+      job.state = FleetJobState::kDone;
+      pending_.erase(slot);
+      continue;
+    }
+
+    FleetWorkload w;
+    // Stable per-job workload name => stable log file (e.g.
+    // "bert_b1-job3.jsonl"), the anchor of restart resume.
+    w.name = job.network + "_b" + std::to_string(job.batch) + "-job" +
+             std::to_string(job.id);
+    w.network = make_network(job.network, job.batch);
+    w.hardware = shard->hw;
+    w.options = opts_.tuning;
+    w.options.seed = job.seed;
+    if (!job.policy.empty()) w.options.policy_name = job.policy;
+    w.trials = job.trials;
+
+    auto publisher = std::make_unique<ProgressPublisher>(this, job.id);
+    w.callbacks.push_back(publisher.get());
+    publishers_[job.id] = std::move(publisher);
+
+    int fleet_index = shard->fleet->submit(std::move(w));
+    shard->fleet_to_job[fleet_index] = job.id;
+    job.fleet_index = fleet_index;
+    job.state = FleetJobState::kRunning;
+    active_jobs_ += 1;
+    pending_.erase(slot);
+  }
+}
+
+void HarlServer::handle_fleet_complete(const std::string& shard_name,
+                                       int fleet_index,
+                                       const FleetNetworkResult& result) {
+  Response ev;
+  std::int64_t job_id = -1;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    auto sit = shards_.find(shard_name);
+    if (sit == shards_.end()) return;
+    auto jit = sit->second->fleet_to_job.find(fleet_index);
+    if (jit == sit->second->fleet_to_job.end()) return;
+    job_id = jit->second;
+    Job& job = jobs_[job_id];
+    job.result = result;
+    active_jobs_ -= 1;
+    if (result.completed) {
+      job.done = true;
+      job.state = FleetJobState::kDone;
+      jobs_completed_ += 1;
+      json::Value line = json::Value::object();
+      line.set("v", json::Value::number(static_cast<std::int64_t>(1)));
+      line.set("ev", json::Value::string("done"));
+      line.set("job", json::Value::number(job_id));
+      journal_append(line.dump());
+      registry_.on_job_complete(job.tenant, job.trials, result.trials_used,
+                                result.latency_gain_ms);
+    } else {
+      // Drained mid-budget: no done marker — the journal re-admits it on
+      // the next start(), and its log resumes the search bit-identically.
+      job.state = FleetJobState::kStopped;
+    }
+    ev.ok = true;
+    ev.event = "done";
+    ev.job = job_id;
+    ev.state = fleet_job_state_name(job.state);
+    ev.trials_used = result.trials_used;
+    if (std::isfinite(result.latency_ms)) ev.latency_ms = result.latency_ms;
+    dispatch_locked();
+  }
+  publish_event(job_id, ev, /*terminal=*/true);
+}
+
+void HarlServer::publish_event(std::int64_t job_id, const Response& event,
+                               bool terminal) {
+  std::vector<std::shared_ptr<Connection>> subs;
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    auto it = subscribers_.find(job_id);
+    if (it != subscribers_.end()) {
+      subs = it->second;
+      if (terminal) subscribers_.erase(it);
+    }
+  }
+  for (auto& conn : subs) {
+    if (!conn->dead.load()) send_to(*conn, event);
+  }
+}
+
+// ---------------------------------------------------------------- requests
+
+Response HarlServer::handle_hello(const Request& req) {
+  if (req.tenant.empty()) return error_response("hello needs a tenant name");
+  registry_.ensure(req.tenant, req.budget);
+  if (req.budget >= 0) {
+    json::Value line = json::Value::object();
+    line.set("v", json::Value::number(static_cast<std::int64_t>(1)));
+    line.set("ev", json::Value::string("tenant"));
+    line.set("tenant", json::Value::string(req.tenant));
+    line.set("budget", json::Value::number(req.budget));
+    journal_append(line.dump());
+  }
+  Response resp;
+  resp.ok = true;
+  resp.tenants = registry_.num_tenants();
+  return resp;
+}
+
+Response HarlServer::handle_query(const Request& req) {
+  if (req.network.empty() || req.task.empty()) {
+    return error_response("query needs network and task");
+  }
+  std::string canon;
+  HardwareConfig hw;
+  if (!hardware_preset(req.hw, &canon, &hw)) {
+    return error_response("unknown hw preset \"" + req.hw +
+                          "\" (xeon, rtx3090, test)");
+  }
+  const Subgraph* graph = nullptr;
+  {
+    // The builtin resolver memoizes networks lazily; one lock keeps that
+    // cache coherent across query threads.
+    std::lock_guard<std::mutex> lk(resolver_mu_);
+    graph = resolver_(req.network, req.task);
+  }
+  if (graph == nullptr) {
+    return error_response("unknown task " + req.network + "/" + req.task);
+  }
+  Shard* shard;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    shard = shard_for_locked(canon);
+  }
+  if (shard == nullptr) return error_response("no shard for hw " + canon);
+
+  auto t0 = std::chrono::steady_clock::now();
+  ServeResult result = shard->cache.serve(req.network, *graph, hw);
+  auto t1 = std::chrono::steady_clock::now();
+
+  Response resp;
+  resp.ok = true;
+  resp.tier = serve_tier_name(result.tier);
+  resp.serve_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  if (result.tier != ServeTier::kMiss) {
+    resp.schedule_fp = result.schedule.fingerprint();
+    resp.est_time_ms = result.est_time_ms;
+    resp.score = result.score;
+    if (result.tier != ServeTier::kL3) {
+      resp.record = record_to_json(result.record);
+    }
+  }
+  return resp;
+}
+
+Response HarlServer::handle_tune(const Request& req) {
+  std::string tenant = req.tenant.empty() ? "default" : req.tenant;
+  if (req.network.empty() || !known_network_base(req.network)) {
+    return error_response("tune needs a builtin network base name "
+                          "(bert, resnet50, mobilenet_v2)");
+  }
+  if (req.batch < 1) return error_response("batch must be >= 1");
+  if (req.trials <= 0) return error_response("trials must be positive");
+  if (req.trials > opts_.max_job_trials) {
+    return error_response("trials exceed the per-job cap of " +
+                          std::to_string(opts_.max_job_trials));
+  }
+  std::string canon;
+  HardwareConfig hw;
+  if (!hardware_preset(req.hw, &canon, &hw)) {
+    return error_response("unknown hw preset \"" + req.hw +
+                          "\" (xeon, rtx3090, test)");
+  }
+  if (!req.policy.empty() &&
+      !policy_kind_from_name(req.policy).has_value()) {
+    return error_response("unknown policy \"" + req.policy + "\"");
+  }
+
+  std::string reason;
+  if (!registry_.admit(tenant, req.trials, &reason)) {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    jobs_rejected_ += 1;
+    return error_response(reason);
+  }
+
+  Response resp;
+  {
+    std::lock_guard<std::mutex> lk(jobs_mu_);
+    Job job;
+    job.id = next_job_id_++;
+    job.tenant = tenant;
+    job.network = req.network;
+    job.batch = req.batch;
+    job.hw = canon;
+    job.trials = req.trials;
+    job.seed = req.seed;
+    job.policy = req.policy;
+    jobs_admitted_ += 1;
+
+    // Journal before acknowledging: an admitted job must survive a crash
+    // that lands between the reply and the first fleet round.
+    json::Value line = json::Value::object();
+    line.set("v", json::Value::number(static_cast<std::int64_t>(1)));
+    line.set("ev", json::Value::string("job"));
+    line.set("job", json::Value::number(job.id));
+    line.set("tenant", json::Value::string(job.tenant));
+    line.set("network", json::Value::string(job.network));
+    line.set("batch", json::Value::number(job.batch));
+    line.set("hw", json::Value::string(job.hw));
+    line.set("trials", json::Value::number(job.trials));
+    line.set("seed", json::Value::number(job.seed));
+    if (!job.policy.empty()) {
+      line.set("policy", json::Value::string(job.policy));
+    }
+    journal_append(line.dump());
+
+    resp.ok = true;
+    resp.job = job.id;
+    resp.state = fleet_job_state_name(FleetJobState::kQueued);
+    pending_.push_back(job.id);
+    jobs_[job.id] = std::move(job);
+    dispatch_locked();
+  }
+  return resp;
+}
+
+Response HarlServer::handle_status(const Request& req) {
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  auto it = jobs_.find(req.job);
+  if (it == jobs_.end()) {
+    return error_response("unknown job " + std::to_string(req.job));
+  }
+  const Job& job = it->second;
+  Response resp;
+  resp.ok = true;
+  resp.job = job.id;
+  FleetJobState state = job.state;
+  if (!job.done && job.fleet_index >= 0) {
+    auto sit = shards_.find(job.hw);
+    if (sit != shards_.end() && sit->second->fleet != nullptr) {
+      state = sit->second->fleet->workload_state(job.fleet_index);
+    }
+  }
+  resp.state = fleet_job_state_name(state);
+  if (job.done || state == FleetJobState::kStopped) {
+    resp.trials_used = job.result.trials_used;
+    if (std::isfinite(job.result.latency_ms)) {
+      resp.latency_ms = job.result.latency_ms;
+    }
+  }
+  return resp;
+}
+
+Response HarlServer::handle_stats() {
+  Response resp;
+  resp.ok = true;
+  ServerStats s = stats();
+  resp.queries = s.queries;
+  resp.l1_hits = s.l1_hits;
+  resp.l2_hits = s.l2_hits;
+  resp.l3_hits = s.l3_hits;
+  resp.misses = s.misses;
+  resp.jobs_admitted = s.jobs_admitted;
+  resp.jobs_rejected = s.jobs_rejected;
+  resp.jobs_completed = s.jobs_completed;
+  resp.jobs_resumed = s.jobs_resumed;
+  resp.tenants = s.tenants;
+  return resp;
+}
+
+ServerStats HarlServer::stats() const {
+  ServerStats out;
+  std::lock_guard<std::mutex> lk(jobs_mu_);
+  for (const auto& kv : shards_) {
+    ServeStats cs = kv.second->cache.stats();
+    out.queries += static_cast<std::int64_t>(cs.queries);
+    out.l1_hits += static_cast<std::int64_t>(cs.l1_hits);
+    out.l2_hits += static_cast<std::int64_t>(cs.l2_hits);
+    out.l3_hits += static_cast<std::int64_t>(cs.l3_hits);
+    out.misses += static_cast<std::int64_t>(cs.misses);
+  }
+  out.jobs_admitted = jobs_admitted_;
+  out.jobs_rejected = jobs_rejected_;
+  out.jobs_completed = jobs_completed_;
+  out.jobs_resumed = jobs_resumed_;
+  out.tenants = registry_.num_tenants();
+  return out;
+}
+
+Response HarlServer::handle_request(const Request& req,
+                                    const std::shared_ptr<Connection>& conn,
+                                    bool* already_replied) {
+  *already_replied = false;
+  switch (req.type) {
+    case RequestType::kHello: return handle_hello(req);
+    case RequestType::kQuery: return handle_query(req);
+    case RequestType::kTune: return handle_tune(req);
+    case RequestType::kStatus: return handle_status(req);
+    case RequestType::kStats: return handle_stats();
+    case RequestType::kShutdown: {
+      Response resp;
+      resp.ok = true;
+      // Reply first (the caller sends it), then trip the flag: serve_forever
+      // notices and runs the same graceful drain SIGTERM does.
+      request_shutdown();
+      return resp;
+    }
+    case RequestType::kSubscribe: {
+      if (conn == nullptr) {
+        return error_response("subscribe needs a streaming connection");
+      }
+      bool finished = false;
+      Response done_ev;
+      {
+        std::lock_guard<std::mutex> lk(jobs_mu_);
+        auto it = jobs_.find(req.job);
+        if (it == jobs_.end()) {
+          return error_response("unknown job " + std::to_string(req.job));
+        }
+        const Job& job = it->second;
+        if (job.done || job.state == FleetJobState::kStopped) {
+          finished = true;
+          done_ev.ok = true;
+          done_ev.event = "done";
+          done_ev.job = job.id;
+          done_ev.state = fleet_job_state_name(job.state);
+          done_ev.trials_used = job.result.trials_used;
+          if (std::isfinite(job.result.latency_ms)) {
+            done_ev.latency_ms = job.result.latency_ms;
+          }
+        }
+      }
+      if (finished) return done_ev;  // a one-line stream: immediate done
+      {
+        std::lock_guard<std::mutex> lk(subs_mu_);
+        subscribers_[req.job].push_back(conn);
+      }
+      // The stream itself is the reply; event lines follow until "done".
+      *already_replied = true;
+      return Response{};
+    }
+  }
+  return error_response("unhandled request type");
+}
+
+Response HarlServer::handle_for_test(const Request& req) {
+  if (req.type == RequestType::kSubscribe) {
+    return error_response("subscribe needs a streaming connection");
+  }
+  bool already_replied = false;
+  return handle_request(req, nullptr, &already_replied);
+}
+
+// ---------------------------------------------------------------- transport
+
+bool HarlServer::send_to(Connection& conn, const Response& resp) {
+  std::string wire = response_to_json(resp);
+  wire += '\n';
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(conn.fd, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      conn.dead.store(true);
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void HarlServer::accept_loop() {
+  while (!shutdown_requested_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    int rc = ::poll(&pfd, 1, 50);
+    if (rc <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->thread = std::thread([this, conn] { connection_loop(conn); });
+  }
+}
+
+void HarlServer::connection_loop(std::shared_ptr<Connection> conn) {
+  constexpr std::size_t kMaxLine = 1 << 20;  // flood guard
+  while (!shutdown_requested_.load() && !conn->dead.load()) {
+    std::size_t nl = conn->buffer.find('\n');
+    if (nl == std::string::npos) {
+      if (conn->buffer.size() > kMaxLine) break;  // no newline in 1 MiB: abuse
+      pollfd pfd{};
+      pfd.fd = conn->fd;
+      pfd.events = POLLIN;
+      int rc = ::poll(&pfd, 1, 100);
+      if (rc < 0 && errno != EINTR) break;
+      if (rc <= 0) continue;
+      char chunk[4096];
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;  // EOF or error
+      conn->buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    std::string line = conn->buffer.substr(0, nl);
+    conn->buffer.erase(0, nl + 1);
+    if (line.empty()) continue;
+
+    Request req;
+    std::string perr;
+    if (!request_from_json(line, &req, &perr)) {
+      send_to(*conn, error_response("bad request: " + perr));
+      continue;
+    }
+    bool already_replied = false;
+    Response resp = handle_request(req, conn, &already_replied);
+    if (!already_replied) {
+      if (!send_to(*conn, resp)) break;
+    }
+  }
+  conn->dead.store(true);
+  // Unsubscribe everywhere before the socket goes away.
+  {
+    std::lock_guard<std::mutex> lk(subs_mu_);
+    for (auto& kv : subscribers_) {
+      auto& v = kv.second;
+      v.erase(std::remove(v.begin(), v.end(), conn), v.end());
+    }
+  }
+  ::close(conn->fd);
+  conn->fd = -1;
+}
+
+}  // namespace harl

@@ -1,0 +1,588 @@
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/harl.hpp"
+#include "io/safe_file.hpp"
+#include "serve/knowledge_cache.hpp"
+#include "server/client.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "server/tenant.hpp"
+
+namespace harl {
+namespace {
+
+// ----------------------------------------------------------------- helpers
+
+/// Recursively delete a state directory (one level of shard subdirs).
+void remove_tree(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    std::string path = dir + "/" + name;
+    struct stat st{};
+    if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      remove_tree(path);
+    } else {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
+  ::rmdir(dir.c_str());
+}
+
+struct TempDir {
+  explicit TempDir(std::string p) : path(std::move(p)) { remove_tree(path); }
+  ~TempDir() { remove_tree(path); }
+  std::string path;
+};
+
+ServerOptions make_server_options(const std::string& state_dir) {
+  ServerOptions opts;
+  opts.state_dir = state_dir;
+  opts.max_concurrent = 1;
+  opts.tuning = quick_options(PolicyKind::kHarl);
+  return opts;
+}
+
+Request tune_request(const std::string& tenant, std::int64_t trials,
+                     std::uint64_t seed) {
+  Request req;
+  req.type = RequestType::kTune;
+  req.tenant = tenant;
+  req.network = "bert";
+  req.hw = "test";
+  req.trials = trials;
+  req.seed = seed;
+  return req;
+}
+
+/// Poll `status` until the job leaves the queue/run states.
+Response wait_for_job(HarlServer& server, std::int64_t job, int timeout_s) {
+  Request req;
+  req.type = RequestType::kStatus;
+  req.job = job;
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(timeout_s);
+  for (;;) {
+    Response r = server.handle_for_test(req);
+    if (!r.ok || r.state == "done" || r.state == "stopped") return r;
+    if (std::chrono::steady_clock::now() > deadline) return r;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, RequestRoundTripsEveryField) {
+  Request req;
+  req.type = RequestType::kTune;
+  req.tenant = "alice";
+  req.budget = 500;
+  req.network = "bert";
+  req.task = "GEMM-I";
+  req.hw = "test";
+  req.trials = 120;
+  req.batch = 4;
+  req.seed = 7;
+  req.policy = "random";
+  req.job = 3;
+
+  std::string line = request_to_json(req);
+  Request back;
+  std::string error;
+  ASSERT_TRUE(request_from_json(line, &back, &error)) << error;
+  EXPECT_TRUE(req == back) << line;
+  // Determinism: equal messages produce equal bytes.
+  EXPECT_EQ(line, request_to_json(back));
+}
+
+TEST(Protocol, RequestDefaultsStayOffTheWire) {
+  Request req;
+  req.type = RequestType::kStats;
+  EXPECT_EQ(request_to_json(req), "{\"v\":1,\"type\":\"stats\"}");
+
+  Request back;
+  std::string error;
+  ASSERT_TRUE(request_from_json("{\"v\":1,\"type\":\"stats\"}", &back, &error));
+  EXPECT_TRUE(req == back);
+}
+
+TEST(Protocol, ResponseRoundTripsEveryField) {
+  Response resp;
+  resp.ok = true;
+  resp.event = "done";
+  resp.tier = "L1";
+  resp.est_time_ms = 1.5;
+  resp.score = 0.25;
+  resp.schedule_fp = 18446744073709551615ull;  // uint64 max must survive
+  resp.record = "{\"v\":1,\"net\":\"bert_b1\"}";
+  resp.serve_us = 12.5;
+  resp.job = 9;
+  resp.state = "done";
+  resp.trials_used = 60;
+  resp.latency_ms = 3.5;
+  resp.round = 5;
+  resp.trials_after = 60;
+  resp.net_latency_ms = 4.25;
+  resp.task = "GEMM-I";
+  resp.queries = 1;
+  resp.l1_hits = 1;
+  resp.l2_hits = 0;
+  resp.l3_hits = 0;
+  resp.misses = 0;
+  resp.jobs_admitted = 2;
+  resp.jobs_rejected = 1;
+  resp.jobs_completed = 2;
+  resp.jobs_resumed = 1;
+  resp.tenants = 3;
+
+  std::string line = response_to_json(resp);
+  Response back;
+  std::string error;
+  ASSERT_TRUE(response_from_json(line, &back, &error)) << error;
+  EXPECT_TRUE(resp == back) << line;
+  EXPECT_EQ(line, response_to_json(back));
+}
+
+TEST(Protocol, MalformedRequestCorpusAllRejected) {
+  const char* corpus[] = {
+      "",
+      "   ",
+      "{",
+      "not json at all",
+      "[]",
+      "42",
+      "\"a bare string\"",
+      "null",
+      "{}",                                    // missing type
+      "{\"v\":1}",                             // missing type
+      "{\"v\":1,\"type\":\"frobnicate\"}",     // unknown type
+      "{\"v\":1,\"type\":42}",                 // type not a string
+      "{\"v\":\"one\",\"type\":\"query\"}",    // version not a number
+      "{\"v\":2,\"type\":\"query\"}",          // newer than the reader
+      "{\"v\":1,\"type\":\"tune\",\"trials\":\"many\"}",  // wrong field type
+      "{\"v\":1,\"type\":\"tune\",\"tenant\":7}",
+      "{\"v\":1,\"type\":\"query\",\"seed\":true}",
+      "{\"v\":1,\"type\":\"qu",                // truncated mid-string
+      "{\"v\":1,\"type\":\"query\"",           // truncated mid-object
+      "{\"v\":1,,\"type\":\"query\"}",         // stray comma
+  };
+  for (const char* line : corpus) {
+    Request out;
+    out.tenant = "sentinel";
+    std::string error;
+    EXPECT_FALSE(request_from_json(line, &out, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+    EXPECT_EQ(out.tenant, "sentinel") << "out mutated by: " << line;
+  }
+}
+
+TEST(Protocol, MalformedResponseCorpusAllRejected) {
+  const char* corpus[] = {
+      "",
+      "[1,2,3]",
+      "{\"v\":3,\"ok\":true}",            // newer version
+      "{\"v\":1,\"ok\":\"yes\"}",         // ok not a bool
+      "{\"v\":1,\"ok\":true,\"score\":\"high\"}",
+      "{\"v\":1,\"ok\":true,\"tier\":1}",
+  };
+  for (const char* line : corpus) {
+    Response out;
+    std::string error;
+    EXPECT_FALSE(response_from_json(line, &out, &error)) << line;
+    EXPECT_FALSE(error.empty()) << line;
+  }
+}
+
+TEST(Protocol, UnknownFieldsAndMissingVersionAreTolerated) {
+  Request req;
+  std::string error;
+  // Additive evolution: unknown fields from a same-version peer are ignored.
+  ASSERT_TRUE(request_from_json(
+      "{\"v\":1,\"type\":\"query\",\"network\":\"bert_b1\","
+      "\"future_knob\":[1,2,{\"x\":3}]}",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.network, "bert_b1");
+  // A missing "v" means the writer predates versioning: treat as current.
+  ASSERT_TRUE(request_from_json("{\"type\":\"stats\"}", &req, &error)) << error;
+  EXPECT_EQ(req.version, kProtocolVersion);
+}
+
+// ------------------------------------------------------------------ tenant
+
+TEST(Tenant, AdmissionChargesAndEnforcesBudgets) {
+  TenantRegistry reg(/*default_budget=*/100);
+  std::string reason;
+  EXPECT_TRUE(reg.admit("alice", 60, &reason));
+  EXPECT_EQ(reg.remaining("alice"), 40);
+  EXPECT_FALSE(reg.admit("alice", 50, &reason));  // only 40 left
+  EXPECT_FALSE(reason.empty());
+  EXPECT_EQ(reg.remaining("alice"), 40);          // nothing charged on reject
+  EXPECT_FALSE(reg.admit("alice", 0, &reason));   // non-positive is invalid
+  EXPECT_FALSE(reg.admit("alice", -5, &reason));
+  EXPECT_TRUE(reg.admit("alice", 40, &reason));   // exactly the remainder
+  EXPECT_EQ(reg.remaining("alice"), 0);
+}
+
+TEST(Tenant, CompletionRefundsUnusedTrials) {
+  TenantRegistry reg(100);
+  ASSERT_TRUE(reg.admit("bob", 80));
+  // The search saturated after 50 of the 80 admitted trials: refund 30.
+  reg.on_job_complete("bob", 80, 50, 1.5);
+  EXPECT_EQ(reg.remaining("bob"), 50);
+  // trials_used = -1 (recovery path, usage unknown) keeps the full charge.
+  ASSERT_TRUE(reg.admit("bob", 20));
+  reg.on_job_complete("bob", 20, -1, 0.0);
+  EXPECT_EQ(reg.remaining("bob"), 30);
+}
+
+TEST(Tenant, HelloCanRaiseButNeverUndercutsCharges) {
+  TenantRegistry reg(100);
+  ASSERT_TRUE(reg.admit("carol", 90));
+  reg.ensure("carol", 40);  // below the 90 already charged: clamp, no debt
+  EXPECT_EQ(reg.remaining("carol"), 0);
+  reg.ensure("carol", 500);
+  EXPECT_EQ(reg.remaining("carol"), 410);
+}
+
+TEST(Tenant, PickFavorsHeadroomThenGainAndBreaksTiesByName) {
+  TenantRegistry reg(100, /*gradient_alpha=*/0.2);
+  // Fresh tenants are identical: the lexicographically smallest name wins.
+  EXPECT_EQ(reg.pick({"zeta", "alpha", "mid"}), 1);
+
+  // The forward term favors unspent budget: bravo has more headroom.
+  reg.ensure("alpha");
+  reg.ensure("bravo");
+  ASSERT_TRUE(reg.admit("alpha", 50));
+  EXPECT_EQ(reg.pick({"alpha", "bravo"}), 1);
+
+  // With equal headroom, the backward term favors the observed gain rate.
+  TenantRegistry reg2(100, 0.2);
+  ASSERT_TRUE(reg2.admit("fast", 50));
+  ASSERT_TRUE(reg2.admit("slow", 50));
+  reg2.on_job_complete("fast", 50, 50, 200.0);  // 4 ms/trial
+  reg2.on_job_complete("slow", 50, 50, 10.0);   // 0.2 ms/trial
+  EXPECT_EQ(reg2.pick({"slow", "fast"}), 1);
+  EXPECT_EQ(reg2.pick({"fast", "slow"}), 0);
+}
+
+// ------------------------------------------------------------------ server
+
+TEST(Server, AdmitTuneThenQueryHitsL1WithLogBestRecord) {
+  TempDir dir("test_server_l1");
+  HarlServer server(make_server_options(dir.path));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Request hello;
+  hello.type = RequestType::kHello;
+  hello.tenant = "alice";
+  ASSERT_TRUE(server.handle_for_test(hello).ok);
+
+  Response admitted = server.handle_for_test(tune_request("alice", 60, 41));
+  ASSERT_TRUE(admitted.ok) << admitted.error;
+  EXPECT_GE(admitted.job, 1);
+  EXPECT_EQ(admitted.state, "queued");
+
+  Response done = wait_for_job(server, admitted.job, 120);
+  ASSERT_TRUE(done.ok) << done.error;
+  ASSERT_EQ(done.state, "done");
+  EXPECT_EQ(done.trials_used, 60);
+
+  Request query;
+  query.type = RequestType::kQuery;
+  query.network = "bert_b1";
+  query.task = "GEMM-I";
+  query.hw = "test";
+  Response served = server.handle_for_test(query);
+  ASSERT_TRUE(served.ok) << served.error;
+  EXPECT_EQ(served.tier, "L1");
+  EXPECT_GE(served.serve_us, 0);
+  EXPECT_NE(served.schedule_fp, 0u);
+
+  // The served record must be byte-identical to the best record the shard
+  // log holds for this triple — the L1 bit-identity contract over the wire.
+  std::string log = dir.path + "/test/bert_b1-job" +
+                    std::to_string(admitted.job) + ".jsonl";
+  const std::uint64_t hw_fp = HardwareConfig::test_config().fingerprint();
+  std::string best;
+  double best_time = 0;
+  for (const TuningRecord& rec : read_records(log)) {
+    ASSERT_EQ(rec.network, "bert_b1");
+    if (rec.task != "GEMM-I" || rec.hardware_fp != hw_fp || !(rec.time_ms > 0)) {
+      continue;
+    }
+    std::string line = record_to_json(rec);
+    if (best.empty() || rec.time_ms < best_time ||
+        (rec.time_ms == best_time && line < best)) {
+      best_time = rec.time_ms;
+      best = std::move(line);
+    }
+  }
+  ASSERT_FALSE(best.empty());
+  EXPECT_EQ(served.record, best);
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 1);
+  EXPECT_EQ(stats.l1_hits, 1);
+  EXPECT_EQ(stats.jobs_admitted, 1);
+  EXPECT_EQ(stats.jobs_completed, 1);
+  server.shutdown();
+}
+
+TEST(Server, PerTenantBudgetsGateAdmission) {
+  TempDir dir("test_server_budget");
+  ServerOptions opts = make_server_options(dir.path);
+  opts.default_budget = 100;
+  HarlServer server(std::move(opts));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // 150 > the tenant's 100-trial budget: rejected outright.
+  Response r = server.handle_for_test(tune_request("dave", 150, 1));
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+
+  Response a = server.handle_for_test(tune_request("dave", 60, 1));
+  ASSERT_TRUE(a.ok) << a.error;
+  // 60 more would exceed the 40 left — even while the first job runs.
+  Response b = server.handle_for_test(tune_request("dave", 60, 2));
+  EXPECT_FALSE(b.ok);
+
+  // A different tenant has its own budget.
+  Response c = server.handle_for_test(tune_request("erin", 60, 3));
+  EXPECT_TRUE(c.ok) << c.error;
+
+  // hello can raise dave's budget, unblocking the follow-up job.
+  Request hello;
+  hello.type = RequestType::kHello;
+  hello.tenant = "dave";
+  hello.budget = 400;
+  ASSERT_TRUE(server.handle_for_test(hello).ok);
+  Response d = server.handle_for_test(tune_request("dave", 60, 2));
+  EXPECT_TRUE(d.ok) << d.error;
+
+  ServerStats stats = server.stats();
+  EXPECT_EQ(stats.jobs_rejected, 2);
+  EXPECT_EQ(stats.jobs_admitted, 3);
+  EXPECT_EQ(stats.tenants, 2);
+  server.shutdown();
+}
+
+TEST(Server, RejectsInvalidRequests) {
+  TempDir dir("test_server_invalid");
+  HarlServer server(make_server_options(dir.path));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Request bad_net = tune_request("t", 50, 1);
+  bad_net.network = "alexnet";  // not a builtin workload
+  EXPECT_FALSE(server.handle_for_test(bad_net).ok);
+
+  Request bad_hw = tune_request("t", 50, 1);
+  bad_hw.hw = "quantum";
+  EXPECT_FALSE(server.handle_for_test(bad_hw).ok);
+
+  Request bad_policy = tune_request("t", 50, 1);
+  bad_policy.policy = "oracle";
+  EXPECT_FALSE(server.handle_for_test(bad_policy).ok);
+
+  Request bad_batch = tune_request("t", 50, 1);
+  bad_batch.batch = 0;
+  EXPECT_FALSE(server.handle_for_test(bad_batch).ok);
+
+  Request too_big = tune_request("t", 20000, 1);  // above max_job_trials
+  EXPECT_FALSE(server.handle_for_test(too_big).ok);
+
+  Request no_task;
+  no_task.type = RequestType::kQuery;
+  no_task.network = "bert_b1";
+  EXPECT_FALSE(server.handle_for_test(no_task).ok);
+
+  Request ghost;
+  ghost.type = RequestType::kStatus;
+  ghost.job = 99;
+  EXPECT_FALSE(server.handle_for_test(ghost).ok);
+
+  EXPECT_EQ(server.stats().jobs_admitted, 0);
+  server.shutdown();
+}
+
+TEST(Server, DrainCheckpointsAndRestartResumesBitIdentically) {
+  TempDir victim_dir("test_server_victim");
+  TempDir ref_dir("test_server_reference");
+  const std::int64_t kTrials = 1600;
+  const std::uint64_t kSeed = 7;
+
+  // Victim: admit the job, let it run a few rounds, then drain mid-flight.
+  std::string victim_log;
+  {
+    HarlServer server(make_server_options(victim_dir.path));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    Response admitted =
+        server.handle_for_test(tune_request("frank", kTrials, kSeed));
+    ASSERT_TRUE(admitted.ok) << admitted.error;
+    victim_log = victim_dir.path + "/test/bert_b1-job" +
+                 std::to_string(admitted.job) + ".jsonl";
+    // Wait until tuning demonstrably started, then a little longer so the
+    // drain lands mid-run (the job needs seconds to finish 1600 trials).
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    std::string probe;
+    while (!read_text_file(victim_log, &probe, nullptr) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    server.request_shutdown();  // what the SIGTERM handler does
+    server.shutdown();
+  }
+
+  // The checkpoint must be a clean prefix: whole rounds only, no done marker.
+  std::vector<TuningRecord> partial = read_records(victim_log);
+  ASSERT_GT(partial.size(), 0u);
+  ASSERT_LT(partial.size(), static_cast<std::size_t>(kTrials));
+
+  // Restart over the same state dir: the journal re-admits the job and the
+  // fleet resumes it from the salvaged log.
+  {
+    HarlServer server(make_server_options(victim_dir.path));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    EXPECT_EQ(server.stats().jobs_resumed, 1);
+    Response done = wait_for_job(server, 1, 300);
+    ASSERT_TRUE(done.ok) << done.error;
+    ASSERT_EQ(done.state, "done");
+
+    Request query;
+    query.type = RequestType::kQuery;
+    query.network = "bert_b1";
+    query.task = "GEMM-I";
+    query.hw = "test";
+    Response served = server.handle_for_test(query);
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_EQ(served.tier, "L1");
+    server.shutdown();
+  }
+
+  // Reference: the same request uninterrupted in a fresh state dir.
+  {
+    HarlServer server(make_server_options(ref_dir.path));
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    Response admitted =
+        server.handle_for_test(tune_request("frank", kTrials, kSeed));
+    ASSERT_TRUE(admitted.ok) << admitted.error;
+    Response done = wait_for_job(server, admitted.job, 300);
+    ASSERT_EQ(done.state, "done");
+    server.shutdown();
+  }
+
+  std::string victim, reference;
+  ASSERT_TRUE(read_text_file(victim_log, &victim, nullptr));
+  ASSERT_TRUE(read_text_file(ref_dir.path + "/test/bert_b1-job1.jsonl",
+                             &reference, nullptr));
+  EXPECT_EQ(victim, reference)
+      << "kill-and-restart must replay to the exact uninterrupted log";
+}
+
+TEST(Server, SubscribeToFinishedJobYieldsImmediateDoneEvent) {
+  TempDir dir("test_server_subscribe");
+  HarlServer server(make_server_options(dir.path));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  Response admitted = server.handle_for_test(tune_request("gina", 40, 5));
+  ASSERT_TRUE(admitted.ok) << admitted.error;
+  Response done = wait_for_job(server, admitted.job, 120);
+  ASSERT_EQ(done.state, "done");
+
+  LineClient cli;
+  ASSERT_TRUE(cli.connect("127.0.0.1", server.port(), &error)) << error;
+  Request sub;
+  sub.type = RequestType::kSubscribe;
+  sub.job = admitted.job;
+  ASSERT_TRUE(cli.send_line(request_to_json(sub), &error)) << error;
+  std::string line;
+  ASSERT_TRUE(cli.recv_line(&line, &error)) << error;
+  Response ev;
+  ASSERT_TRUE(response_from_json(line, &ev, &error)) << error;
+  EXPECT_EQ(ev.event, "done");
+  EXPECT_EQ(ev.state, "done");
+  EXPECT_EQ(ev.job, admitted.job);
+  server.shutdown();
+}
+
+TEST(Server, SurvivesConcurrentAndMalformedClients) {
+  TempDir dir("test_server_fuzz");
+  HarlServer server(make_server_options(dir.path));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+  const int port = server.port();
+
+  const char* junk[] = {
+      "garbage in",
+      "{\"v\":9,\"type\":\"query\"}",
+      "{}",
+      "{\"v\":1,\"type\":\"status\",\"job\":12345}",
+      "{\"v\":1,\"type\":\"query\",\"network\":\"bert_b1\","
+      "\"task\":\"GEMM-I\",\"hw\":\"test\"}",
+      "[]",
+      "{\"v\":1,\"type\":\"stats\"}",
+  };
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([port, t, &junk, &failures] {
+      LineClient cli;
+      std::string err;
+      if (!cli.connect("127.0.0.1", port, &err)) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 30; ++i) {
+        const char* line = junk[(t + i) % (sizeof(junk) / sizeof(junk[0]))];
+        std::string reply;
+        Response resp;
+        // Every line — valid or junk — must yield exactly one parseable
+        // reply; junk gets ok=false, never a dropped connection.
+        if (!cli.send_line(line, &err) || !cli.recv_line(&reply, &err) ||
+            !response_from_json(reply, &resp, &err)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The server is still fully functional afterwards.
+  Request query;
+  query.type = RequestType::kQuery;
+  query.network = "bert_b1";
+  query.task = "GEMM-I";
+  query.hw = "test";
+  Response served = server.handle_for_test(query);
+  EXPECT_TRUE(served.ok) << served.error;
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace harl
