@@ -9,6 +9,15 @@
 ///       tune_network's model flag / `SearchOptions::experience_model` /
 ///       `FleetTuner::Options::experience_model` start warm from.
 ///
+///   harl_harvest value --out=model.json [--hw=xeon|rtx3090]
+///                [--trees=N] [--depth=N] [--histogram] [--seed=N]
+///                LOG... [--dir=DIR]
+///       Train the partial-schedule value model: label every decision prefix
+///       of every logged schedule with the best final quality reachable from
+///       it, and fit a GBDT over prefix features.  The output feeds
+///       tune_network's value-model flag / `SearchOptions::value_guide` /
+///       `FleetTuner::Options::value_model` for value-guided search.
+///
 ///   harl_harvest compact --out=PATH [--best-k=N] [--window=N] LOG...
 ///       Keep each run's best-k records plus its most recent window, writing
 ///       the same schema (readers, resume, transfer, and harvesting accept
@@ -157,6 +166,49 @@ int cmd_harvest(const CommonArgs& args) {
   return 0;
 }
 
+int cmd_value(const CommonArgs& args) {
+  if (args.out.empty()) {
+    std::fprintf(stderr, "value: --out=PATH is required\n");
+    return 1;
+  }
+  bool hw_ok = false;
+  HardwareConfig hw = hardware_for(args.hw_name, &hw_ok);
+  if (!hw_ok) return 1;
+
+  ExperienceStore store;
+  for (const std::string& log : args.logs) {
+    std::vector<RecordReadError> errors;
+    std::size_t added = store.add_log(log, &errors);
+    std::printf("  %-40s %zu records\n", log.c_str(), added);
+    for (const RecordReadError& e : errors) {
+      std::fprintf(stderr, "%s:%zu: skipped: %s\n", log.c_str(), e.line_number,
+                   e.message.c_str());
+    }
+  }
+  HarvestStats stats;
+  Gbdt model =
+      store.pretrain_value(hw, args.gbdt, make_builtin_resolver(), &stats);
+
+  std::printf(
+      "\nvalue: %zu records (%zu duplicate, %zu unknown-task, %zu invalid) "
+      "-> %zu prefix rows over %zu task groups; %zu malformed lines skipped\n",
+      stats.records, stats.duplicates, stats.unknown_tasks,
+      stats.invalid_schedules, stats.rows, stats.groups, stats.lines_skipped);
+  if (!model.trained()) {
+    std::fprintf(stderr, "value: not enough rows to train a model\n");
+    return 1;
+  }
+  std::string error;
+  if (!save_gbdt(model, args.out, &error)) {
+    std::fprintf(stderr, "value: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("value model: %s (%d trees, %d nodes, target hw %s)\n",
+              args.out.c_str(), model.num_trees_fit(), model.total_nodes(),
+              hw.name.c_str());
+  return 0;
+}
+
 int cmd_compact(const CommonArgs& args) {
   if (args.out.empty()) {
     std::fprintf(stderr, "compact: --out=PATH is required\n");
@@ -242,8 +294,11 @@ int cmd_stats(const CommonArgs& args) {
 void usage(std::FILE* out) {
   std::fprintf(
       out,
-      "usage: harl_harvest <harvest|compact|stats> [flags] LOG... [--dir=DIR]\n"
+      "usage: harl_harvest <harvest|value|compact|stats> [flags] LOG... "
+      "[--dir=DIR]\n"
       "  harvest --out=model.json [--hw=xeon|rtx3090|test] [--trees=N]\n"
+      "          [--depth=N] [--histogram] [--seed=N]\n"
+      "  value   --out=model.json [--hw=xeon|rtx3090|test] [--trees=N]\n"
       "          [--depth=N] [--histogram] [--seed=N]\n"
       "  compact --out=PATH [--best-k=N] [--window=N]\n"
       "  stats\n"
@@ -273,6 +328,7 @@ int main(int argc, char** argv) {
   }
   std::string cmd = argv[1];
   if (cmd == "harvest") return cmd_harvest(args);
+  if (cmd == "value") return cmd_value(args);
   if (cmd == "compact") return cmd_compact(args);
   if (cmd == "stats") return cmd_stats(args);
   usage(stderr);

@@ -7,6 +7,7 @@
 ///
 ///   harl_serve --state-dir=DIR [--port=N] [--max-concurrent=N]
 ///              [--default-budget=N] [--max-job-trials=N] [--refresh=N]
+///              [--value-model=PATH] [--beam-width=N] [--sample-clusters=N]
 ///              [--no-golden] [--quiet]
 ///
 ///   --state-dir=DIR       durable root: per-hardware record logs + caches,
@@ -20,6 +21,15 @@
 ///   --refresh=N           in-run experience refresh period in rounds
 ///                         (default 0 = off, keeping restart resume
 ///                         bit-identical)
+///   --value-model=PATH    partial-schedule value model (harl_harvest value)
+///                         shared by every admitted job; part of each job's
+///                         run identity — a restarted daemon must pass the
+///                         same model for bit-identical resume
+///   --beam-width=N        value-guided beam width for admitted jobs
+///                         (default 16; needs --value-model)
+///   --sample-clusters=N   measure only N representative candidates per
+///                         round, crediting the rest via the cost model
+///                         (default 0 = off)
 ///   --no-golden           report misses instead of golden advice (L3)
 ///   --quiet               suppress the startup banner
 ///   --help                print usage and exit
@@ -51,6 +61,8 @@ void usage(std::FILE* out) {
                "usage: harl_serve --state-dir=DIR [--port=N]\n"
                "                  [--max-concurrent=N] [--default-budget=N]\n"
                "                  [--max-job-trials=N] [--refresh=N]\n"
+               "                  [--value-model=PATH] [--beam-width=N]\n"
+               "                  [--sample-clusters=N]\n"
                "                  [--no-golden] [--quiet] [--help]\n");
 }
 
@@ -82,6 +94,13 @@ int main(int argc, char** argv) {
       opts.max_job_trials = std::atoll(v);
     } else if (flag_value(argv[i], "--refresh", &v)) {
       opts.refresh_period = std::atoi(v);
+    } else if (flag_value(argv[i], "--value-model", &v)) {
+      opts.value_model = v;
+    } else if (flag_value(argv[i], "--beam-width", &v)) {
+      opts.tuning.value_guide.beam_width = std::atoi(v);
+    } else if (flag_value(argv[i], "--sample-clusters", &v)) {
+      opts.tuning.value_guide.enabled = true;
+      opts.tuning.value_guide.sample_clusters = std::atoi(v);
     } else if (std::strcmp(argv[i], "--no-golden") == 0) {
       opts.golden_advice = false;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {

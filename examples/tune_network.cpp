@@ -11,6 +11,16 @@
 ///       [--policy=NAME]         tune one policy instead of the comparison
 ///       [--log=PATH]            append records; resume when the log exists
 ///       [--model=PATH]          pretrained experience model (harl_harvest)
+///       [--value-model=PATH]    partial-schedule value model (harl_harvest
+///                               value): policies beam-prune their expansions
+///                               with it and records stamp its fingerprint
+///       [--beam-width=N]        tracks/population kept after value pruning
+///                               (default 16; needs --value-model)
+///       [--sample-clusters=N]   adaptive-sampling trial filter: measure only
+///                               N cluster representatives per round (0 = off)
+///       [--stop-at-ms=X]        stop at the first round boundary whose
+///                               estimated latency is <= X ms (for
+///                               trials-to-target comparisons)
 ///       [--verify-resume]       re-simulate a sample of replayed trials and
 ///                               fail (exit 4) if the log diverges from the
 ///                               current simulator instead of silently forking
@@ -62,6 +72,10 @@ void print_usage(std::FILE* out) {
       "  [--policy=NAME]         tune one registered policy (durable mode)\n"
       "  [--log=PATH]            append records; resume when the log exists\n"
       "  [--model=PATH]          pretrained experience model (harl_harvest)\n"
+      "  [--value-model=PATH]    partial-schedule value model (harl_harvest value)\n"
+      "  [--beam-width=N]        tracks kept after value pruning (default 16)\n"
+      "  [--sample-clusters=N]   measure only N cluster representatives (0 = off)\n"
+      "  [--stop-at-ms=X]        stop once estimated latency <= X ms\n"
       "  [--verify-resume]       re-simulate replayed trials; exit 4 on drift\n"
       "  [--async-callbacks]     callbacks on a dispatcher thread (bit-identical)\n"
       "  [--refresh-period=N]    refit + republish experience model every N rounds\n"
@@ -89,6 +103,18 @@ struct CrashAfterRounds : TuningCallback {
   int remaining;
   void on_round(const TaskScheduler&, const RoundEvent&) override {
     if (--remaining <= 0) std::_Exit(3);
+  }
+};
+
+/// Early-stop for trials-to-target comparisons (the CI value-guide gate):
+/// request a stop at the first round boundary whose estimated latency
+/// reaches the target.  request_stop only affects *when* the run exits — the
+/// rounds that did run are a prefix of the full run, so determinism holds.
+struct StopAtLatency : TuningCallback {
+  TuningSession* session = nullptr;
+  double target_ms = 0;
+  void on_round(const TaskScheduler&, const RoundEvent& e) override {
+    if (e.net_latency_ms <= target_ms) session->request_stop();
   }
 };
 
@@ -131,12 +157,16 @@ int main(int argc, char** argv) {
   std::string log_path;
   std::string dump_path;
   std::string model_path;
+  std::string value_model_path;
   std::string refresh_out;
   std::string fault_spec_text;
   bool verify_resume_flag = false;
   bool async_callbacks = false;
   int refresh_period = 0;
   int stop_after_rounds = 0;
+  int beam_width = 16;
+  int sample_clusters = 0;
+  double stop_at_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
@@ -152,6 +182,14 @@ int main(int argc, char** argv) {
       log_path = v;
     } else if (flag_value(argv[i], "--model", &v)) {
       model_path = v;
+    } else if (flag_value(argv[i], "--value-model", &v)) {
+      value_model_path = v;
+    } else if (flag_value(argv[i], "--beam-width", &v)) {
+      beam_width = std::atoi(v);
+    } else if (flag_value(argv[i], "--sample-clusters", &v)) {
+      sample_clusters = std::atoi(v);
+    } else if (flag_value(argv[i], "--stop-at-ms", &v)) {
+      stop_at_ms = std::atof(v);
     } else if (std::strcmp(argv[i], "--verify-resume") == 0) {
       verify_resume_flag = true;
     } else if (std::strcmp(argv[i], "--async-callbacks") == 0) {
@@ -217,6 +255,12 @@ int main(int argc, char** argv) {
     if (auto kind = policy_kind_from_name(policy_name)) opts.policy = *kind;
     opts.experience_model = model_path;
     opts.async_callbacks.enabled = async_callbacks;
+    if (!value_model_path.empty() || sample_clusters > 0) {
+      opts.value_guide.enabled = true;
+      opts.value_guide.model_path = value_model_path;
+      opts.value_guide.beam_width = beam_width;
+      opts.value_guide.sample_clusters = sample_clusters;
+    }
 
     std::unique_ptr<ExperienceRefresher> refresher;
     if (refresh_period > 0) {
@@ -342,6 +386,12 @@ int main(int argc, char** argv) {
     }
     if (refresher != nullptr) session.add_callback(refresher.get());
     if (stop_after_rounds > 0) session.add_callback(&crasher);
+    StopAtLatency stopper;
+    if (stop_at_ms > 0) {
+      stopper.session = &session;
+      stopper.target_ms = stop_at_ms;
+      session.add_callback(&stopper);
+    }
 
     std::printf("Tuning %s with policy %s, %lld trials (seed %llu)...\n\n",
                 net.name.c_str(), policy_name.c_str(),
@@ -354,6 +404,17 @@ int main(int argc, char** argv) {
     std::printf("trials used: %lld (replayed from log: %lld)\n",
                 static_cast<long long>(session.measurer().trials_used()),
                 static_cast<long long>(session.measurer().replayed()));
+    if (opts.value_guide.enabled) {
+      std::int64_t credited = 0;
+      for (int i = 0; i < session.scheduler().num_tasks(); ++i) {
+        credited += session.scheduler().task(i).credited_candidates();
+      }
+      std::printf("value guide: model fingerprint %llu, candidates credited "
+                  "without measurement: %lld\n",
+                  static_cast<unsigned long long>(
+                      session.scheduler().value_fingerprint()),
+                  static_cast<long long>(credited));
+    }
     const Measurer& m = session.measurer();
     if (injector != nullptr || m.failed() > 0) {
       std::printf("failed measurements: %lld (%lld retries, %lld recovered, "

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Merge BENCH_*.json outputs into a single BENCH_summary.json.
+
+Every bench binary in this repo emits one flat-or-nested JSON object named
+BENCH_<name>.json next to where it ran.  CI runs them all and used to upload
+each file as its own artifact; this script collects every BENCH_*.json found
+under a directory (default: the current directory, non-recursive) into one
+summary object keyed by bench name, so the whole run ships as a single
+artifact and a downstream diff only has to fetch one file.
+
+The summary is deterministic: benches are keyed and emitted in sorted order,
+and each payload is embedded verbatim (parsed and re-serialized with sorted
+keys, no float reformatting thanks to Python round-tripping shortest-repr
+doubles).
+
+Usage:
+  scripts/merge_bench.py [--dir=DIR] [--out=PATH]
+
+  --dir=DIR    directory to scan for BENCH_*.json (default ".")
+  --out=PATH   output path (default "<DIR>/BENCH_summary.json")
+
+Exit codes: 0 on success (even when zero inputs are found -- an empty summary
+is still written so the CI upload step never dangles), 2 on unreadable or
+malformed input (a bench that wrote bad JSON should fail the merge loudly,
+not vanish from the summary).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--dir", default=".", help="directory to scan for BENCH_*.json")
+    ap.add_argument("--out", default=None, help="output path (default <dir>/BENCH_summary.json)")
+    args = ap.parse_args()
+
+    out_path = args.out or os.path.join(args.dir, "BENCH_summary.json")
+    out_abs = os.path.abspath(out_path)
+
+    try:
+        names = sorted(os.listdir(args.dir))
+    except OSError as e:
+        print(f"merge_bench: cannot list {args.dir}: {e}", file=sys.stderr)
+        return 2
+
+    benches = {}
+    for name in names:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if name == "BENCH_summary.json":
+            continue  # never ingest a previous merge (or our own output)
+        path = os.path.join(args.dir, name)
+        if os.path.abspath(path) == out_abs:
+            continue
+        key = name[len("BENCH_"):-len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                benches[key] = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"merge_bench: bad input {path}: {e}", file=sys.stderr)
+            return 2
+
+    summary = {"num_benches": len(benches), "benches": benches}
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(summary, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    print(f"merge_bench: merged {len(benches)} bench file(s) into {out_path}")
+    for key in sorted(benches):
+        print(f"  - {key}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

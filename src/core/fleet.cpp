@@ -149,6 +149,25 @@ void FleetTuner::init_shared_state_locked() {
     }
   }
 
+  // One shared partial-schedule value model, same contract: loaded once,
+  // handed to every session that does not bring its own.
+  if (fleet_value_ == nullptr && !opts_.value_model.empty()) {
+    auto model = std::make_shared<Gbdt>();
+    std::string error;
+    if (!load_gbdt(opts_.value_model, model.get(), &error)) {
+      HARL_LOG_WARN("fleet: value model ignored: %s", error.c_str());
+    } else if (model->num_features() != FeatureExtractor::kNumPrefixFeatures) {
+      HARL_LOG_WARN(
+          "fleet: value model %s has %d features (prefix extractor has %d); "
+          "ignored",
+          opts_.value_model.c_str(), model->num_features(),
+          FeatureExtractor::kNumPrefixFeatures);
+    } else {
+      fleet_value_fp_ = gbdt_fingerprint(*model);
+      fleet_value_ = std::move(model);
+    }
+  }
+
   // One fleet-shared refresher: every session feeds it, and every session
   // constructed after a republish starts from its latest model.  Deferred
   // while the fleet has no workload (featurization needs a hardware config).
@@ -311,6 +330,15 @@ void FleetTuner::tune_one(std::size_t i) {
       opts.cost_model.pretrained_fingerprint = fleet_pretrained_fp_;
     }
   }
+  // Fleet-shared value head for workloads that bring no model of their own.
+  // `enabled` is forced on: the fleet operator opting into --value-model
+  // means every admitted job runs guided (and stamps `vm` accordingly).
+  if (fleet_value_ != nullptr && opts.value_guide.model == nullptr &&
+      opts.value_guide.model_path.empty()) {
+    opts.value_guide.enabled = true;
+    opts.value_guide.model = fleet_value_;
+    opts.value_guide.model_fingerprint = fleet_value_fp_;
+  }
   auto t0 = std::chrono::steady_clock::now();
   // Session construction (sketch generation per subgraph) is part of the
   // serving cost, so it runs on the fleet thread and counts in wall time.
@@ -458,6 +486,8 @@ FleetReport FleetTuner::run() {
     cache_updater_.reset();
     fleet_pretrained_.reset();
     fleet_pretrained_fp_ = 0;
+    fleet_value_.reset();
+    fleet_value_fp_ = 0;
   }
   FleetReport report;
   report.networks.resize(n);

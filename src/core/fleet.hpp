@@ -130,6 +130,12 @@ class FleetTuner {
     /// `cost_model.pretrained` / `experience_model`.  Loaded once per fleet
     /// run and shared read-only across all sessions.
     std::string experience_model;
+    /// Partial-schedule value model (`harl_harvest value` output) applied to
+    /// every workload that does not carry its own `value_guide` model/path.
+    /// Loaded once per fleet run and shared read-only; sessions it reaches
+    /// run value-guided (beam pruning + trial filter per their
+    /// `value_guide` knobs) and stamp its fingerprint as `vm`.
+    std::string value_model;
     /// Async callback dispatch applied to every workload whose own
     /// `SearchOptions::async_callbacks` is not already enabled: each
     /// session's callbacks (record logger, refresher, user callbacks) run
@@ -276,6 +282,8 @@ class FleetTuner {
   // Fleet-shared state, initialized by start() before any worker runs.
   std::shared_ptr<const Gbdt> fleet_pretrained_;
   std::uint64_t fleet_pretrained_fp_ = 0;
+  std::shared_ptr<const Gbdt> fleet_value_;
+  std::uint64_t fleet_value_fp_ = 0;
   std::unique_ptr<ExperienceRefresher> refresher_;      ///< when refresh_period > 0
   std::unique_ptr<KnowledgeCacheUpdater> cache_updater_;  ///< when knowledge_cache set
 };

@@ -51,9 +51,12 @@ struct HarvestStats {
 /// *target* hardware and normalized-throughput labels (group best / time,
 /// the same label `XgbCostModel` trains on).
 struct ExperienceDataset {
-  std::vector<double> features;  ///< rows x FeatureExtractor::kNumFeatures
+  std::vector<double> features;  ///< rows x num_features
   std::vector<double> labels;
   std::size_t rows = 0;
+  /// Row width: FeatureExtractor::kNumFeatures for the experience set,
+  /// kNumPrefixFeatures for the value set (`build_value_dataset`).
+  int num_features = 0;
 };
 
 /// Folds many tuning logs into one reusable training set — the offline half
@@ -98,6 +101,27 @@ class ExperienceStore {
   Gbdt pretrain(const HardwareConfig& hw, const GbdtConfig& cfg,
                 const TaskResolver& resolver, HarvestStats* stats = nullptr,
                 ThreadPool* pool = nullptr) const;
+
+  /// Build the *value-function* training set: for every record and every
+  /// prefix depth d in [1, num_stages], one row per distinct decided prefix
+  /// (`prefix_fingerprint`) labeled with the best normalized score (group
+  /// best / time) any record sharing that prefix finally reached — i.e. "the
+  /// best final time reachable from this partial schedule", Steiner et al.'s
+  /// value target.  Rows are kNumPrefixFeatures wide and inherit
+  /// `build_dataset`'s determinism contract: canonical record order + prefix
+  /// dedup make the set (and the trained model bytes) a pure function of the
+  /// record set.
+  ExperienceDataset build_value_dataset(const HardwareConfig& hw,
+                                        const TaskResolver& resolver,
+                                        HarvestStats* stats = nullptr) const;
+
+  /// `build_value_dataset` + a full `Gbdt::fit` over prefix features.  The
+  /// returned model is untrained below 4 rows; its `num_features()` is
+  /// kNumPrefixFeatures, so it can never be confused with an experience
+  /// model at load time.
+  Gbdt pretrain_value(const HardwareConfig& hw, const GbdtConfig& cfg,
+                      const TaskResolver& resolver,
+                      HarvestStats* stats = nullptr) const;
 
  private:
   std::vector<TuningRecord> records_;

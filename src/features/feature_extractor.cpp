@@ -208,6 +208,26 @@ void FeatureExtractor::extract_matrix_into(const std::vector<Schedule>& scheds,
   }
 }
 
+void FeatureExtractor::extract_prefix_into(const Schedule& sched, int depth,
+                                           double* out) const {
+  const int stages = static_cast<int>(sched.stages.size());
+  if (depth < 0) depth = 0;
+  if (depth > stages) depth = stages;
+  Schedule prefix = prefix_schedule(sched, depth);
+  extract_into(prefix, out);
+  out[kNumFeatures] =
+      stages > 0 ? static_cast<double>(depth) / static_cast<double>(stages) : 1.0;
+  out[kNumFeatures + 1] = static_cast<double>(stages - depth);
+}
+
+void FeatureExtractor::extract_prefix_matrix_into(
+    const std::vector<Schedule>& scheds, int depth, double* out) const {
+  constexpr std::size_t kW = kNumPrefixFeatures;
+  for (std::size_t i = 0; i < scheds.size(); ++i) {
+    extract_prefix_into(scheds[i], depth, out + i * kW);
+  }
+}
+
 std::vector<double> slot_features(const Schedule& sched,
                                   const std::vector<TileSlot>& slots) {
   std::vector<double> out;

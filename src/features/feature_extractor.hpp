@@ -34,6 +34,13 @@ class ThreadPool;
 class FeatureExtractor {
  public:
   static constexpr int kNumFeatures = 48;
+  /// Width of a *prefix* feature row: the ordinary features of the
+  /// suffix-neutralized schedule plus two prefix descriptors (decided-depth
+  /// fraction, undecided-stage count).  Deliberately distinct from
+  /// kNumFeatures so a value-head model file can never be loaded as an
+  /// experience cost model (or vice versa) — `Gbdt::num_features()` catches
+  /// the mismatch at load time.
+  static constexpr int kNumPrefixFeatures = kNumFeatures + 2;
   /// Upper bound on iteration axes per operator supported by the
   /// allocation-free scratch (largest real workload, conv3d, has 11).
   static constexpr int kMaxAxes = 16;
@@ -49,6 +56,21 @@ class FeatureExtractor {
   /// are indexed by position, so the fill is deterministic either way.
   void extract_matrix_into(const std::vector<Schedule>& scheds, double* out,
                            ThreadPool* pool = nullptr) const;
+
+  /// Feature row (length kNumPrefixFeatures) of the first `depth` decided
+  /// stages of `sched`: the ordinary features of `prefix_schedule(sched,
+  /// depth)` followed by [depth / num_stages, num_stages - depth].  Input is
+  /// the *full* schedule; neutralization happens here.  Unlike
+  /// `extract_into` this copies the schedule (value scoring is off the
+  /// per-trial hot path).
+  void extract_prefix_into(const Schedule& sched, int depth, double* out) const;
+
+  /// Row-major scheds.size() x kNumPrefixFeatures prefix-feature matrix, all
+  /// rows at the same `depth`.  Serial on purpose: prefix scoring batches are
+  /// small (beam candidates) and a serial fill keeps the value-guided
+  /// schedule stream trivially independent of pool size.
+  void extract_prefix_matrix_into(const std::vector<Schedule>& scheds, int depth,
+                                  double* out) const;
 
   const HardwareConfig& hardware() const { return *hw_; }
 

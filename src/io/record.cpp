@@ -11,7 +11,8 @@ bool TuningRecord::operator==(const TuningRecord& o) const {
          sketch_tag == o.sketch_tag && stages == o.stages &&
          time_ms == o.time_ms && trial_index == o.trial_index &&
          cached == o.cached && fail == o.fail && task_sig == o.task_sig &&
-         hw_sim == o.hw_sim && experience_fp == o.experience_fp;
+         hw_sim == o.hw_sim && experience_fp == o.experience_fp &&
+         value_fp == o.value_fp;
 }
 
 std::vector<StageDecision> decisions_from_schedule(const Schedule& sched) {
@@ -72,6 +73,7 @@ std::string record_to_json(const TuningRecord& rec) {
     obj.set("hwv", std::move(hwv));
   }
   if (rec.experience_fp != 0) obj.set("xm", Value::number(rec.experience_fp));
+  if (rec.value_fp != 0) obj.set("vm", Value::number(rec.value_fp));
   return obj.dump();
 }
 
@@ -194,6 +196,13 @@ bool record_from_json(const std::string& line, TuningRecord* rec,
       return false;
     }
     out.experience_fp = xm->as_uint64();
+  }
+  if (const json::Value* vm = obj.find("vm"); vm != nullptr) {
+    if (!vm->is_number()) {
+      *error = "field \"vm\" is not a number";
+      return false;
+    }
+    out.value_fp = vm->as_uint64();
   }
 
   if (!require(obj, "stages", &v, error)) return false;

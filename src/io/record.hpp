@@ -78,6 +78,11 @@ struct TuningRecord {
   /// same seed, so replaying across the boundary would attach logged times
   /// to the wrong schedules.
   std::uint64_t experience_fp = 0;
+  /// Fingerprint of the partial-schedule value model guiding the run (0 =
+  /// unguided).  Part of the run identity for the same reason as
+  /// `experience_fp`: value-guided beam pruning changes the schedule stream,
+  /// so guided and unguided logs must never cross-replay.
+  std::uint64_t value_fp = 0;
 
   bool operator==(const TuningRecord& o) const;
 };

@@ -26,6 +26,7 @@ TuningRecord make_tuning_record(const TaskScheduler& scheduler, int task,
   out.task_sig = scheduler.task(task).graph().structure_signature();
   out.hw_sim = scheduler.hardware().similarity_vector();
   out.experience_fp = scheduler.experience_fingerprint();
+  out.value_fp = scheduler.value_fingerprint();
   return out;
 }
 

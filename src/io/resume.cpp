@@ -21,15 +21,17 @@ ResumeStats resume_session(TuningSession& session,
   const std::uint64_t seed = sched.options().seed;
   const std::uint64_t hw_fp = sched.hardware().fingerprint();
   const std::uint64_t exp_fp = sched.experience_fingerprint();
+  const std::uint64_t vm_fp = sched.value_fingerprint();
 
   std::vector<double> replay;
   for (const TuningRecord& r : records) {
-    // The experience fingerprint is part of the identity: a pretrained
-    // prior changes which schedules the search proposes, so a cold log
-    // replayed into a warm session (or vice versa, or across different
-    // models) would attach logged times to the wrong schedules.
+    // The experience and value-model fingerprints are part of the identity:
+    // a pretrained prior (or a value-guided beam) changes which schedules
+    // the search proposes, so a cold log replayed into a warm/guided session
+    // (or vice versa, or across different models) would attach logged times
+    // to the wrong schedules.
     if (r.network != net || r.hardware_fp != hw_fp || r.policy != policy ||
-        r.seed != seed || r.experience_fp != exp_fp) {
+        r.seed != seed || r.experience_fp != exp_fp || r.value_fp != vm_fp) {
       ++stats.records_skipped;
       continue;
     }
@@ -81,6 +83,7 @@ VerifyResumeReport verify_resume(const TuningSession& session,
   const std::uint64_t seed = sched.options().seed;
   const std::uint64_t hw_fp = sched.hardware().fingerprint();
   const std::uint64_t exp_fp = sched.experience_fingerprint();
+  const std::uint64_t vm_fp = sched.value_fingerprint();
   const int num_unroll = sched.hardware().num_unroll_options();
 
   // `matched` counts every record of this run's identity; `eligible` is the
@@ -91,7 +94,7 @@ VerifyResumeReport verify_resume(const TuningSession& session,
   std::vector<const TuningRecord*> eligible;
   for (const TuningRecord& r : records) {
     if (r.network != net || r.hardware_fp != hw_fp || r.policy != policy ||
-        r.seed != seed || r.experience_fp != exp_fp) {
+        r.seed != seed || r.experience_fp != exp_fp || r.value_fp != vm_fp) {
       continue;
     }
     ++report.matched;

@@ -98,6 +98,54 @@ Schedule random_schedule(const Sketch& sketch, int num_unroll_options, Rng& rng)
   return sched;
 }
 
+Schedule prefix_schedule(const Schedule& full, int depth) {
+  Schedule out = full;
+  const Sketch& sk = *full.sketch;
+  const Subgraph& g = *sk.graph;
+  if (depth < 0) depth = 0;
+  for (int s = depth; s < g.num_stages(); ++s) {
+    const StagePlan& plan = sk.plan(s);
+    const TensorOp& op = g.stage(s).op;
+    StageSchedule& ss = out.stages[static_cast<std::size_t>(s)];
+    ss = StageSchedule{};
+    if (plan.structure == StageStructure::kTiled ||
+        plan.structure == StageStructure::kSimple) {
+      ss.tiles.reserve(op.axes.size());
+      for (const Axis& axis : op.axes) {
+        int levels = levels_for_axis(plan.structure, axis.kind);
+        ss.tiles.push_back(trivial_tile(axis.extent, levels));
+      }
+      ss.parallel_depth = std::min(1, op.num_spatial_axes());
+    }
+  }
+  return out;
+}
+
+std::uint64_t prefix_fingerprint(const Schedule& sched, int depth) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a, as fingerprint()
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(sched.sketch->identity_salt);
+  if (depth < 0) depth = 0;
+  int stages = static_cast<int>(sched.stages.size());
+  if (depth > stages) depth = stages;
+  mix(static_cast<std::uint64_t>(depth) + 0x9e3779b9ULL);
+  for (int s = 0; s < depth; ++s) {
+    const StageSchedule& ss = sched.stages[static_cast<std::size_t>(s)];
+    for (const TileVector& t : ss.tiles) {
+      for (std::int64_t f : t.factors) mix(static_cast<std::uint64_t>(f));
+      mix(0xabcdULL);
+    }
+    mix(static_cast<std::uint64_t>(ss.compute_at + 1));
+    mix(static_cast<std::uint64_t>(ss.parallel_depth + 1));
+    mix(static_cast<std::uint64_t>(ss.unroll_index + 1));
+    mix(0x1234ULL);
+  }
+  return h;
+}
+
 std::string validate_schedule(const Schedule& sched, int num_unroll_options) {
   std::ostringstream err;
   if (sched.sketch == nullptr) return "schedule has no sketch";

@@ -68,4 +68,20 @@ Schedule random_schedule(const Sketch& sketch, int num_unroll_options, Rng& rng)
 /// match extents, level counts match the structure, knob values in range.
 std::string validate_schedule(const Schedule& sched, int num_unroll_options);
 
+/// A *prefix* of a schedule: stages `[0, depth)` keep their decisions, every
+/// later stage is neutralized to the canonical undecided configuration
+/// (trivial tiles with all factors innermost, compute_at 0, parallel_depth
+/// min(1, spatial axes), unroll_index 0).  The result is a valid schedule of
+/// the same sketch, so the ordinary feature extractor can featurize it; the
+/// value head scores these to estimate the best final time reachable from the
+/// decided prefix.  `depth >= num_stages` returns an unmodified copy.
+Schedule prefix_schedule(const Schedule& full, int depth);
+
+/// Identity hash of the decided prefix: sketch identity salt, the depth, and
+/// the decisions of stages `[0, depth)` only.  Two records whose schedules
+/// agree on the first `depth` stages (under the same sketch) collide here —
+/// that is the grouping key for value-function labels ("best final time
+/// reachable from this prefix").
+std::uint64_t prefix_fingerprint(const Schedule& sched, int depth);
+
 }  // namespace harl

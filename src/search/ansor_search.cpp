@@ -20,13 +20,26 @@ std::vector<MeasuredRecord> AnsorSearchPolicy::tune_round(Measurer& measurer,
   // --- Initial population ---------------------------------------------------
   // Uniform sketch choice for fresh candidates; the rest are mutations of the
   // best measured schedules (Ansor seeds evolution from its history).
+  // Value-guided oversampling: with a value head available, draw twice the
+  // population and keep the best `population` by predicted prefix value, so
+  // evolution starts from a value-filtered pool at full capacity — doomed
+  // candidates are dropped before the generations loop materializes/scores
+  // their offspring.  (Shrinking the population itself would starve the
+  // evolutionary search, so unlike HARL's track beam the survivor count here
+  // stays cfg_.population.)  Tie order is deterministic (see
+  // ValueGuide::beam_select), preserving the serial-vs-parallel and resume
+  // bit-identity invariants.
+  const ValueGuide* guide = task_->value_guide();
+  const bool value_guided = guide != nullptr && guide->has_model();
+  const int num_init = value_guided ? 2 * cfg_.population : cfg_.population;
+
   std::vector<Individual> pop;
-  pop.reserve(static_cast<std::size_t>(cfg_.population));
+  pop.reserve(static_cast<std::size_t>(num_init));
   const std::vector<MeasuredRecord>& seeds = task_->best_pool();
   int num_random = seeds.empty()
-                       ? cfg_.population
-                       : static_cast<int>(cfg_.init_random_frac * cfg_.population);
-  for (int i = 0; i < cfg_.population; ++i) {
+                       ? num_init
+                       : static_cast<int>(cfg_.init_random_frac * num_init);
+  for (int i = 0; i < num_init; ++i) {
     Individual ind;
     if (i < num_random) {
       int u = rng_.next_int(0, task_->num_sketches() - 1);
@@ -38,6 +51,19 @@ std::vector<MeasuredRecord> AnsorSearchPolicy::tune_round(Measurer& measurer,
       space.mutate(&ind.sched, rng_);
     }
     pop.push_back(std::move(ind));
+  }
+
+  if (value_guided && static_cast<int>(pop.size()) > cfg_.population) {
+    int depth = ValueGuide::default_prefix_depth(task_->graph().num_stages());
+    std::vector<Schedule> init_scheds;
+    init_scheds.reserve(pop.size());
+    for (const Individual& ind : pop) init_scheds.push_back(ind.sched);
+    std::vector<double> values = guide->score_prefixes(init_scheds, depth);
+    std::vector<int> keep = ValueGuide::beam_select(values, cfg_.population);
+    std::vector<Individual> pruned;
+    pruned.reserve(keep.size());
+    for (int i : keep) pruned.push_back(std::move(pop[static_cast<std::size_t>(i)]));
+    pop = std::move(pruned);
   }
 
   std::vector<ScoredCandidate> visited;

@@ -20,6 +20,23 @@ std::vector<MeasuredRecord> AutoTvmSearchPolicy::tune_round(Measurer& measurer,
     for (int i = 0; i < cfg_.walkers; ++i) {
       walkers_.push_back(random_schedule(sketch, space.num_unroll_options(), rng_));
     }
+    // Value-guided beam prune of the initial walkers: the SA chains whose
+    // decided prefixes the value head rates worst never start, cutting every
+    // subsequent round's proposal volume.  Deterministic tie order keeps the
+    // replay invariants.
+    const ValueGuide* guide = task_->value_guide();
+    if (guide != nullptr && guide->has_model() &&
+        static_cast<int>(walkers_.size()) > guide->beam_width()) {
+      int depth = ValueGuide::default_prefix_depth(task_->graph().num_stages());
+      std::vector<double> values = guide->score_prefixes(walkers_, depth);
+      std::vector<int> keep = ValueGuide::beam_select(values, guide->beam_width());
+      std::vector<Schedule> pruned;
+      pruned.reserve(keep.size());
+      for (int i : keep) {
+        pruned.push_back(std::move(walkers_[static_cast<std::size_t>(i)]));
+      }
+      walkers_ = std::move(pruned);
+    }
   }
 
   std::vector<double> scores = cost.predict_batch(walkers_);

@@ -81,6 +81,28 @@ std::vector<MeasuredRecord> HarlSearchPolicy::tune_round(Measurer& measurer,
                      tracks.size());
   for (const Track& t : tracks) candidates.push_back({t.sched, t.score});
 
+  // --- Value-guided hierarchical expansion (measurement economy) -----------
+  // Score each initial track's decided *prefix* with the value head and keep
+  // only the beam predicted to reach the best final time; the pruned inits
+  // stay in `candidates` (already scored — still eligible for measurement)
+  // but never pay the modification-episode cost.  beam_select's tie order is
+  // deterministic, so the schedule stream stays a pure function of run
+  // identity.
+  const ValueGuide* guide = task_->value_guide();
+  if (guide != nullptr && guide->has_model() &&
+      static_cast<int>(tracks.size()) > guide->beam_width()) {
+    int depth = ValueGuide::default_prefix_depth(task_->graph().num_stages());
+    std::vector<Schedule> init_scheds;
+    init_scheds.reserve(tracks.size());
+    for (const Track& t : tracks) init_scheds.push_back(t.sched);
+    std::vector<double> values = guide->score_prefixes(init_scheds, depth);
+    std::vector<int> keep = ValueGuide::beam_select(values, guide->beam_width());
+    std::vector<Track> pruned;
+    pruned.reserve(keep.size());
+    for (int i : keep) pruned.push_back(std::move(tracks[static_cast<std::size_t>(i)]));
+    tracks = std::move(pruned);
+  }
+
   std::vector<int> alive(tracks.size());
   for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = static_cast<int>(i);
 

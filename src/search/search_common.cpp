@@ -109,10 +109,25 @@ std::vector<MeasuredRecord> measure_and_commit(TaskState& task, Measurer& measur
                                                const std::vector<Schedule>& scheds) {
   std::vector<MeasuredRecord> records;
   if (scheds.empty()) return records;
-  std::vector<MeasureResult> results = measurer.measure_batch_results(scheds);
-  records.reserve(scheds.size());
-  for (std::size_t i = 0; i < scheds.size(); ++i) {
-    records.push_back({scheds[i], results[i].time_ms, results[i].trial_index,
+  // Adaptive-sampling trial filter: measure only deterministic cluster
+  // representatives; siblings keep their cost-model credit and stay
+  // unmeasured (re-proposable), so downstream accounting sees exactly the
+  // simulated stream.
+  const ValueGuide* guide = task.value_guide();
+  std::vector<Schedule> reps;
+  const std::vector<Schedule>* to_measure = &scheds;
+  if (guide != nullptr && guide->sample_clusters() > 0 &&
+      static_cast<int>(scheds.size()) > guide->sample_clusters()) {
+    std::vector<int> keep = guide->select_representatives(scheds);
+    reps.reserve(keep.size());
+    for (int i : keep) reps.push_back(scheds[static_cast<std::size_t>(i)]);
+    task.note_credited(static_cast<std::int64_t>(scheds.size() - reps.size()));
+    to_measure = &reps;
+  }
+  std::vector<MeasureResult> results = measurer.measure_batch_results(*to_measure);
+  records.reserve(to_measure->size());
+  for (std::size_t i = 0; i < to_measure->size(); ++i) {
+    records.push_back({(*to_measure)[i], results[i].time_ms, results[i].trial_index,
                        results[i].cached, results[i].status});
   }
   task.commit_measurements(records);

@@ -19,6 +19,7 @@
 #include "hwsim/measurer.hpp"
 #include "sched/actions.hpp"
 #include "sched/schedule.hpp"
+#include "search/value_guide.hpp"
 #include "util/rng.hpp"
 
 namespace harl {
@@ -109,6 +110,17 @@ class TaskState {
   const std::vector<MeasuredRecord>& best_pool() const { return best_pool_; }
   static constexpr std::size_t kBestPoolSize = 64;
 
+  /// Measurement-economy guide shared across tasks (owned by the
+  /// scheduler); nullptr = full-measurement behavior, bit-identical to
+  /// pre-guide builds.
+  void set_value_guide(const ValueGuide* guide) { value_guide_ = guide; }
+  const ValueGuide* value_guide() const { return value_guide_; }
+
+  /// Candidates the trial filter skipped (credited through the cost-model
+  /// score of their cluster representative instead of a simulator run).
+  std::int64_t credited_candidates() const { return credited_candidates_; }
+  void note_credited(std::int64_t n) { credited_candidates_ += n; }
+
  private:
   const Subgraph* graph_;
   const HardwareConfig* hw_;
@@ -125,6 +137,8 @@ class TaskState {
   std::vector<double> best_history_;
   std::unordered_set<std::uint64_t> measured_fps_;
   std::vector<MeasuredRecord> best_pool_;
+  const ValueGuide* value_guide_ = nullptr;
+  std::int64_t credited_candidates_ = 0;
 };
 
 /// A scored schedule candidate awaiting the top-K selection phase.
@@ -165,6 +179,12 @@ class SearchPolicy {
 };
 
 /// Helper shared by policies: measure a batch, build records, commit them.
+/// When the task carries a ValueGuide with `sample_clusters > 0`, the
+/// adaptive-sampling trial filter runs first: only deterministic cluster
+/// representatives reach the Measurer; skipped siblings are credited through
+/// the cost model (they were already scored) and are neither committed nor
+/// marked measured, so the measured trial stream — the only input to best
+/// tracking, curves, and adaptive stopping — is exactly what was simulated.
 std::vector<MeasuredRecord> measure_and_commit(TaskState& task, Measurer& measurer,
                                                const std::vector<Schedule>& scheds);
 

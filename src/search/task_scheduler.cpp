@@ -102,10 +102,41 @@ TaskScheduler::TaskScheduler(const Network* net, const HardwareConfig* hw,
                          ? opts_.cost_model.pretrained_fingerprint
                          : gbdt_fingerprint(*opts_.cost_model.pretrained);
   }
+  // Load the partial-schedule value head once, same contract as the
+  // experience model above: shared read-only, wrong-width files (e.g. an
+  // experience model passed as a value model) warn and fall back to
+  // unguided.
+  if (opts_.value_guide.enabled) {
+    if (opts_.value_guide.model == nullptr && !opts_.value_guide.model_path.empty()) {
+      auto model = std::make_shared<Gbdt>();
+      std::string error;
+      if (!load_gbdt(opts_.value_guide.model_path, model.get(), &error)) {
+        HARL_LOG_WARN("value model ignored: %s", error.c_str());
+      } else if (model->num_features() != FeatureExtractor::kNumPrefixFeatures) {
+        HARL_LOG_WARN(
+            "value model %s has %d features (prefix extractor has %d); ignored",
+            opts_.value_guide.model_path.c_str(), model->num_features(),
+            FeatureExtractor::kNumPrefixFeatures);
+      } else {
+        opts_.value_guide.model = std::move(model);
+      }
+    }
+    if (opts_.value_guide.model != nullptr && opts_.value_guide.model->trained()) {
+      if (opts_.value_guide.model_fingerprint == 0) {
+        opts_.value_guide.model_fingerprint =
+            gbdt_fingerprint(*opts_.value_guide.model);
+      }
+      value_fp_ = opts_.value_guide.model_fingerprint;
+    }
+    if (opts_.value_guide.model != nullptr || opts_.value_guide.sample_clusters > 0) {
+      value_guide_ = std::make_unique<ValueGuide>(hw_, opts_.value_guide);
+    }
+  }
   for (std::size_t n = 0; n < net_->subgraphs.size(); ++n) {
     tasks_.push_back(
         std::make_unique<TaskState>(&net_->subgraphs[n], hw_, opts_.cost_model));
     tasks_.back()->set_pool(opts_.pool);
+    tasks_.back()->set_value_guide(value_guide_.get());
     SearchOptions per_task = opts_;
     per_task.seed = opts_.seed + 1000003ULL * (n + 1);
     policies_.push_back(

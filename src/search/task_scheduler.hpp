@@ -100,6 +100,15 @@ struct SearchOptions {
   /// unreadable or wrong-width file logs a warning and falls back to cold.
   std::string experience_model;
 
+  /// Measurement-economy knobs (see search/value_guide.hpp): the
+  /// partial-schedule value head (`model_path` / `model`, trained by
+  /// `harl_harvest value`), the beam width policies prune their expansions
+  /// to, and the adaptive-sampling trial filter's cluster count.  The value
+  /// model is loaded once per scheduler (mirroring `experience_model`) and
+  /// its fingerprint joins the run identity as `vm`, so guided and unguided
+  /// streams never cross-replay.
+  ValueGuideOptions value_guide;
+
   // Eq. 3 gradient parameters (Table 5).
   double gradient_alpha = 0.2;
   double gradient_beta = 2.0;
@@ -281,6 +290,15 @@ class TaskScheduler {
   /// replay across that boundary.
   std::uint64_t experience_fingerprint() const { return experience_fp_; }
 
+  /// Fingerprint of the partial-schedule value model guiding this run (0 =
+  /// unguided).  Stamped into tuning records as `vm`, the same contract as
+  /// `experience_fingerprint`'s `xm`: a guided run's schedule stream differs
+  /// from an unguided run's with the same seed.
+  std::uint64_t value_fingerprint() const { return value_fp_; }
+
+  /// The scheduler-owned measurement-economy guide (nullptr when disabled).
+  const ValueGuide* value_guide() const { return value_guide_.get(); }
+
  private:
   int select_task();
 
@@ -291,6 +309,8 @@ class TaskScheduler {
   std::vector<std::unique_ptr<SearchPolicy>> policies_;
   std::unique_ptr<TaskSelector> selector_;
   std::uint64_t experience_fp_ = 0;
+  std::uint64_t value_fp_ = 0;
+  std::unique_ptr<ValueGuide> value_guide_;
   std::atomic<bool> stop_requested_{false};
   RunExit last_run_exit_ = RunExit::kNone;
   std::vector<RoundLog> round_log_;

@@ -1,0 +1,120 @@
+#include "search/value_guide.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace harl {
+
+std::vector<double> ValueGuide::score_prefixes(const std::vector<Schedule>& scheds,
+                                               int depth) const {
+  std::vector<double> out(scheds.size(), 0.0);
+  if (scheds.empty() || !has_model()) return out;
+  constexpr std::size_t kW = FeatureExtractor::kNumPrefixFeatures;
+  std::vector<double> rows(scheds.size() * kW);
+  fx_.extract_prefix_matrix_into(scheds, depth, rows.data());
+  opts_.model->predict_batch(rows.data(), scheds.size(), out.data());
+  return out;
+}
+
+std::vector<int> ValueGuide::beam_select(const std::vector<double>& scores,
+                                         int beam) {
+  const int n = static_cast<int>(scores.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  if (beam < 1) beam = 1;
+  if (beam >= n) return order;
+  // Score descending, index ascending on ties: a total order independent of
+  // how the candidates were produced.
+  std::stable_sort(order.begin(), order.end(), [&scores](int a, int b) {
+    return scores[static_cast<std::size_t>(a)] > scores[static_cast<std::size_t>(b)];
+  });
+  order.resize(static_cast<std::size_t>(beam));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> ValueGuide::select_representatives(
+    const std::vector<Schedule>& scheds) const {
+  const int n = static_cast<int>(scheds.size());
+  const int k = opts_.sample_clusters;
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  if (k <= 0 || n <= k) return all;
+
+  constexpr std::size_t kW = FeatureExtractor::kNumFeatures;
+  std::vector<double> rows(static_cast<std::size_t>(n) * kW);
+  for (int i = 0; i < n; ++i) {
+    fx_.extract_into(scheds[static_cast<std::size_t>(i)],
+                     rows.data() + static_cast<std::size_t>(i) * kW);
+  }
+  // Per-column min-max normalization so no single large-magnitude feature
+  // (e.g. raw work volume) dominates the distance.
+  for (std::size_t c = 0; c < kW; ++c) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (int i = 0; i < n; ++i) {
+      double v = rows[static_cast<std::size_t>(i) * kW + c];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    double range = hi - lo;
+    for (int i = 0; i < n; ++i) {
+      double& v = rows[static_cast<std::size_t>(i) * kW + c];
+      v = range > 0 ? (v - lo) / range : 0.0;
+    }
+  }
+
+  auto dist2 = [&rows](int a, int b) {
+    const double* ra = rows.data() + static_cast<std::size_t>(a) * kW;
+    const double* rb = rows.data() + static_cast<std::size_t>(b) * kW;
+    double d = 0;
+    for (std::size_t c = 0; c < kW; ++c) {
+      double diff = ra[c] - rb[c];
+      d += diff * diff;
+    }
+    return d;
+  };
+
+  // Seed with the callers' top half (candidates arrive score-descending, so
+  // this keeps the predicted-best block the in-run cost model needs for
+  // useful training labels), then farthest-point refinement for the rest:
+  // each new medoid is the point farthest from its nearest chosen one, ties
+  // toward the lower index.
+  const int head = (k + 1) / 2;
+  std::vector<int> chosen;
+  chosen.reserve(static_cast<std::size_t>(k));
+  std::vector<char> taken(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < head; ++i) {
+    chosen.push_back(i);
+    taken[static_cast<std::size_t>(i)] = 1;
+  }
+  std::vector<double> nearest(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    double d = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < head; ++j) d = std::min(d, dist2(i, j));
+    nearest[static_cast<std::size_t>(i)] = d;
+  }
+  while (static_cast<int>(chosen.size()) < k) {
+    int best = -1;
+    double best_d = -1.0;
+    for (int i = 0; i < n; ++i) {
+      if (taken[static_cast<std::size_t>(i)]) continue;
+      double d = nearest[static_cast<std::size_t>(i)];
+      if (d > best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    chosen.push_back(best);
+    taken[static_cast<std::size_t>(best)] = 1;
+    for (int i = 0; i < n; ++i) {
+      nearest[static_cast<std::size_t>(i)] =
+          std::min(nearest[static_cast<std::size_t>(i)], dist2(i, best));
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+}  // namespace harl

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file value_guide.hpp
+/// Measurement economy: a partial-schedule value head plus an adaptive
+/// sampling trial filter.  The value head (a GBDT over prefix features)
+/// predicts the best final score reachable from a decided prefix, letting
+/// policies beam-prune doomed expansions before materializing/evolving them;
+/// the trial filter clusters surviving candidates in feature space and sends
+/// only deterministic representatives to the Measurer, crediting cluster
+/// siblings through the cost model instead of the simulator.  Invariant:
+/// every selection here is a pure, tie-stable function of its inputs, so
+/// serial-vs-parallel and crash-resume bit-identity hold with the guide on.
+/// Collaborators: FeatureExtractor (prefix rows), Gbdt, TaskState /
+/// measure_and_commit, TaskScheduler (ownership + `vm` provenance).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/gbdt.hpp"
+#include "features/feature_extractor.hpp"
+
+namespace harl {
+
+/// Knobs for the measurement-economy layer, carried inside SearchOptions.
+/// `enabled` arms the layer; the value head activates only when a model is
+/// present (loaded from `model_path` or injected via `model`), while the
+/// trial filter needs only `sample_clusters > 0`.
+struct ValueGuideOptions {
+  bool enabled = false;
+  /// Value-head model file (saved by `harl_harvest value`); loaded once per
+  /// scheduler.  Ignored when `model` is already set.
+  std::string model_path;
+  /// Pre-loaded value head shared across sessions (fleet/server path).
+  std::shared_ptr<const Gbdt> model;
+  /// Fingerprint of `model` when known (0 = compute on load).  Stamped into
+  /// records as `vm`, exactly like the experience model's `xm`.
+  std::uint64_t model_fingerprint = 0;
+  /// Track/population/walker count kept after value-head beam pruning.
+  int beam_width = 16;
+  /// Candidates measured per measure_and_commit batch; 0 disables the trial
+  /// filter (everything the policy selects is measured).
+  int sample_clusters = 0;
+};
+
+/// One per TaskScheduler; handed to every TaskState as a raw pointer.
+class ValueGuide {
+ public:
+  ValueGuide(const HardwareConfig* hw, ValueGuideOptions opts)
+      : opts_(std::move(opts)), fx_(hw) {}
+
+  bool has_model() const {
+    return opts_.model != nullptr && opts_.model->trained();
+  }
+  int beam_width() const { return opts_.beam_width; }
+  int sample_clusters() const { return opts_.sample_clusters; }
+  std::uint64_t fingerprint() const {
+    return has_model() ? opts_.model_fingerprint : 0;
+  }
+
+  /// Value-head score of each schedule's decided prefix at `depth` stages
+  /// (higher = better final time predicted reachable).  Serial extraction +
+  /// `predict_batch`, so the result is bit-identical across pool sizes.
+  std::vector<double> score_prefixes(const std::vector<Schedule>& scheds,
+                                     int depth) const;
+
+  /// Indices of the `beam` best-scored candidates.  Ties break toward the
+  /// lower index and the result is sorted ascending, so survivors keep their
+  /// original relative order — the deterministic tie order the replay
+  /// invariants rely on.
+  static std::vector<int> beam_select(const std::vector<double>& scores, int beam);
+
+  /// Deterministic k-medoid-style representatives of `scheds` in (per-column
+  /// min-max normalized) feature space: the first ceil(k/2) indices seed the
+  /// set (policies pass candidates score-descending, so the predicted-best
+  /// block is always measured and the in-run cost model keeps seeing
+  /// high-quality labels), then farthest-point refinement fills the rest,
+  /// ties toward the lower index.  Returns `sample_clusters()` indices
+  /// sorted ascending; all indices when the batch is already small enough.
+  std::vector<int> select_representatives(const std::vector<Schedule>& scheds) const;
+
+  /// Prefix depth policies score at: half the stages, rounded up — deep
+  /// enough that the anchor stage of every builtin workload is decided,
+  /// shallow enough that pruning happens before most of the decision list is
+  /// materialized.
+  static int default_prefix_depth(int num_stages) {
+    return num_stages <= 1 ? 1 : (num_stages + 1) / 2;
+  }
+
+ private:
+  ValueGuideOptions opts_;
+  FeatureExtractor fx_;
+};
+
+}  // namespace harl

@@ -406,6 +406,7 @@ HarlServer::Shard* HarlServer::shard_for_locked(const std::string& hw_name) {
   fopts.cache_save_period = opts_.cache_save_period;
   fopts.cache_save_path = dir + "/knowledge.cache.json";
   fopts.refresh_period = opts_.refresh_period;
+  fopts.value_model = opts_.value_model;
   fopts.async_callbacks.enabled = true;
   std::string shard_name = canon;
   fopts.on_complete = [this, shard_name](int index,

@@ -62,6 +62,12 @@ struct ServerOptions {
   /// the price of bit-identical resume.  Enable only when resume fidelity
   /// matters less than model freshness.
   int refresh_period = 0;
+  /// Partial-schedule value model (`harl_harvest value` output) shared by
+  /// every shard fleet: admitted jobs run value-guided per
+  /// `tuning.value_guide`'s beam/cluster knobs and stamp the model's
+  /// fingerprint as `vm`.  Like `tuning`, part of every job's run identity —
+  /// a restarted daemon must pass the same model for resume to replay.
+  std::string value_model;
 };
 
 /// Server-wide monotonic counters (the `stats` reply).

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "core/presets.hpp"
+#include "core/tuning.hpp"
 #include "search/adaptive_stopping.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/operators.hpp"
 
 namespace harl {
 namespace {
@@ -69,6 +73,95 @@ TEST(AdaptiveVisitBudget, ZeroEliminationTerminates) {
   cfg.elimination = 0.0;  // floor(0) killed -> loop must still stop
   cfg.window = 5;
   EXPECT_EQ(adaptive_visit_budget(cfg), 50);
+}
+
+// ---- adaptive stopping x adaptive-sampling trial filter ------------------
+// The HARL episode's elimination decisions (and every other downstream
+// consumer of the measurement stream) must be a pure function of the
+// *measured* records: candidates the trial filter credits without a
+// simulator run may not perturb stopping, trials accounting, or the curve.
+
+SearchOptions filtered_options(std::uint64_t seed, ThreadPool* pool) {
+  SearchOptions opts = quick_options(PolicyKind::kHarl, seed);
+  opts.harl.stop.initial_tracks = 8;
+  opts.harl.stop.min_tracks = 2;
+  opts.harl.stop.window = 4;
+  opts.harl.ppo.minibatch_size = 16;
+  opts.harl.ppo.update_epochs = 1;
+  opts.measures_per_round = 8;
+  opts.value_guide.enabled = true;  // trial filter needs no value model
+  opts.value_guide.sample_clusters = 3;
+  opts.pool = pool;
+  return opts;
+}
+
+TEST(TrialFilterStopping, MeasuredStreamExcludesCreditedCandidates) {
+  Subgraph g = make_gemm(64, 64, 64);
+  HardwareConfig hw = HardwareConfig::xeon_6226r();
+  ThreadPool pool(1);
+  TuningSession session(g, hw, filtered_options(11, &pool));
+  session.run(48);
+
+  const TaskState& task = session.scheduler().task(0);
+  // The filter was active (8-candidate batches cut to 3 representatives).
+  EXPECT_GT(task.credited_candidates(), 0);
+  // Trials accounting stays the measured stream: what the task spent is what
+  // the simulator ran — credited candidates never consumed a trial.
+  EXPECT_EQ(task.trials_spent(), session.measurer().trials_used());
+  // The stopping/gradient snapshots advance in measured trials only: every
+  // curve point sits at most at the measurer's trial counter.
+  for (const CurvePoint& p : task.curve()) {
+    EXPECT_LE(p.trials, session.measurer().trials_used());
+  }
+}
+
+TEST(TrialFilterStopping, StoppingDecisionsReplayDeterministically) {
+  // Same options + seed -> the elimination schedule (visible as the round
+  // structure and per-round trial consumption) replays exactly, with the
+  // filter armed.
+  Subgraph g = make_gemm(64, 64, 64);
+  HardwareConfig hw = HardwareConfig::xeon_6226r();
+  ThreadPool pool(1);
+  auto run_one = [&]() {
+    TuningSession session(g, hw, filtered_options(11, &pool));
+    session.run(48);
+    return std::make_pair(session.scheduler().round_log(),
+                          session.latency_ms());
+  };
+  auto [log_a, lat_a] = run_one();
+  auto [log_b, lat_b] = run_one();
+  EXPECT_EQ(lat_a, lat_b);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_EQ(log_a[i].task, log_b[i].task);
+    EXPECT_EQ(log_a[i].trials_after, log_b[i].trials_after);
+    EXPECT_EQ(log_a[i].net_latency_ms, log_b[i].net_latency_ms);
+  }
+}
+
+TEST(TrialFilterStopping, PinnedSerialVsParallel) {
+  // The measured stream the stopping rule consumes is bit-identical between
+  // a 1-thread and a 4-thread pool with the filter armed.
+  Subgraph g = make_gemm(64, 64, 64);
+  HardwareConfig hw = HardwareConfig::xeon_6226r();
+  auto run_one = [&](ThreadPool* pool) {
+    TuningSession session(g, hw, filtered_options(11, pool));
+    session.run(48);
+    std::int64_t credited = session.scheduler().task(0).credited_candidates();
+    return std::make_tuple(session.scheduler().round_log(),
+                           session.latency_ms(), credited);
+  };
+  ThreadPool serial(1), wide(4);
+  auto [log_s, lat_s, cred_s] = run_one(&serial);
+  auto [log_w, lat_w, cred_w] = run_one(&wide);
+  EXPECT_EQ(lat_s, lat_w);
+  EXPECT_EQ(cred_s, cred_w);
+  ASSERT_EQ(log_s.size(), log_w.size());
+  for (std::size_t i = 0; i < log_s.size(); ++i) {
+    EXPECT_EQ(log_s[i].task, log_w[i].task);
+    EXPECT_EQ(log_s[i].trials_after, log_w[i].trials_after);
+    EXPECT_EQ(log_s[i].net_latency_ms, log_w[i].net_latency_ms);
+  }
 }
 
 }  // namespace
