@@ -15,9 +15,10 @@
 ///       L3 = deterministic golden-advice default on a cold miss.
 ///
 ///   harl_query --connect=HOST:PORT [--tenant=NAME] [--budget=N]
-///              [--task=NETWORK/SUBGRAPH] [--tune=NETWORK] [--batch=N]
-///              [--trials=N] [--seed=N] [--policy=NAME] [--wait]
-///              [--watch=JOB] [--status=JOB] [--stats] [--shutdown]
+///              [--weight=W] [--task=NETWORK/SUBGRAPH] [--tune=NETWORK]
+///              [--batch=N] [--trials=N] [--seed=N] [--policy=NAME] [--wait]
+///              [--watch=JOB] [--status=JOB] [--stats] [--tier-stats]
+///              [--shutdown]
 ///       Client mode: talk to a harl_serve daemon (--connect=PORT implies
 ///       host 127.0.0.1).  Queries print the same tier/record lines as
 ///       local mode; tuning requests are admitted against the tenant's
@@ -35,7 +36,10 @@
 ///                      no --task, exit after building it
 ///   --topk=N           records kept per (network, task, hardware) entry
 ///   --repeat=N         serve N times and report the median latency
-///   --tier-stats       print the cache's tier hit counters
+///   --tier-stats       print tier hit + freshness counters — the local
+///                      cache's, or with --connect the server's (queries,
+///                      per-tier hits, cache refreshes, best-entry
+///                      invalidations, replica hot-reloads)
 ///   --expect-best      verify the answer is an L1 hit whose record is
 ///                      byte-identical to the best log record (exit 6 when
 ///                      not — the CI round-trip gate; works remotely too)
@@ -44,6 +48,9 @@
 ///                        means 127.0.0.1:PORT)
 ///   --tenant=NAME      tenant to act as (default "default")
 ///   --budget=N         hello: set/raise the tenant's trial budget
+///   --weight=W         hello: set the tenant's fair-queue weight (> 0;
+///                      dispatch shares under overload are weight-
+///                      proportional, default 1.0)
 ///   --tune=NETWORK     admit a tuning job for this base network
 ///   --batch=N          batch size of the tuned network (default 1)
 ///   --trials=N         measurement-trial budget of the job
@@ -121,10 +128,10 @@ void usage(std::FILE* out) {
       "                  [--repeat=N] [--tier-stats] [--expect-best]\n"
       "                  [--no-golden] [--help]\n"
       "       harl_query --connect=HOST:PORT [--tenant=NAME] [--budget=N]\n"
-      "                  [--task=NETWORK/SUBGRAPH] [--tune=NETWORK]\n"
-      "                  [--batch=N] [--trials=N] [--seed=N] [--policy=NAME]\n"
-      "                  [--wait] [--watch=JOB] [--status=JOB] [--stats]\n"
-      "                  [--shutdown]\n");
+      "                  [--weight=W] [--task=NETWORK/SUBGRAPH]\n"
+      "                  [--tune=NETWORK] [--batch=N] [--trials=N] [--seed=N]\n"
+      "                  [--policy=NAME] [--wait] [--watch=JOB] [--status=JOB]\n"
+      "                  [--stats] [--tier-stats] [--shutdown]\n");
 }
 
 /// The minimum record under (time_ms asc, serialized asc) the logs hold for
@@ -189,6 +196,7 @@ struct RemoteArgs {
   int port = 0;
   std::string tenant;
   std::int64_t budget = -1;
+  double weight = 0;
   std::string task_spec;
   std::string hw = "xeon";
   std::string tune_network;
@@ -200,6 +208,7 @@ struct RemoteArgs {
   std::int64_t watch_job = -1;
   std::int64_t status_job = -1;
   bool stats = false;
+  bool tier_stats = false;
   bool do_shutdown = false;
   int repeat = 1;
   bool expect_best = false;
@@ -296,32 +305,49 @@ int remote_main(const RemoteArgs& args) {
     return 1;
   }
 
-  if (!args.tenant.empty() || args.budget >= 0) {
+  if (!args.tenant.empty() || args.budget >= 0 || args.weight > 0) {
     Request req;
     req.type = RequestType::kHello;
     req.tenant = args.tenant.empty() ? "default" : args.tenant;
     req.budget = args.budget;
+    req.weight = args.weight;
     Response resp;
     if (!remote_call(cli, req, &resp)) return 1;
   }
 
-  if (args.stats) {
+  if (args.stats || args.tier_stats) {
     Request req;
     req.type = RequestType::kStats;
     Response r;
     if (!remote_call(cli, req, &r)) return 1;
-    std::printf(
-        "server stats: queries=%lld l1=%lld l2=%lld l3=%lld miss=%lld\n"
-        "jobs: admitted=%lld rejected=%lld completed=%lld resumed=%lld "
-        "tenants=%lld\n",
-        static_cast<long long>(r.queries), static_cast<long long>(r.l1_hits),
-        static_cast<long long>(r.l2_hits), static_cast<long long>(r.l3_hits),
-        static_cast<long long>(r.misses),
-        static_cast<long long>(r.jobs_admitted),
-        static_cast<long long>(r.jobs_rejected),
-        static_cast<long long>(r.jobs_completed),
-        static_cast<long long>(r.jobs_resumed),
-        static_cast<long long>(r.tenants));
+    if (args.stats) {
+      std::printf(
+          "server stats: queries=%lld l1=%lld l2=%lld l3=%lld miss=%lld\n"
+          "jobs: admitted=%lld rejected=%lld completed=%lld resumed=%lld "
+          "tenants=%lld\n",
+          static_cast<long long>(r.queries), static_cast<long long>(r.l1_hits),
+          static_cast<long long>(r.l2_hits), static_cast<long long>(r.l3_hits),
+          static_cast<long long>(r.misses),
+          static_cast<long long>(r.jobs_admitted),
+          static_cast<long long>(r.jobs_rejected),
+          static_cast<long long>(r.jobs_completed),
+          static_cast<long long>(r.jobs_resumed),
+          static_cast<long long>(r.tenants));
+    }
+    if (args.tier_stats) {
+      // The server-side twin of local --tier-stats: tier hits plus the
+      // freshness counters (publishes, retired bests, replica hot-reloads).
+      std::printf(
+          "tier stats: queries=%lld l1=%lld l2=%lld l3=%lld miss=%lld "
+          "refreshes=%lld invalidations=%lld reloads=%lld role=%s\n",
+          static_cast<long long>(r.queries), static_cast<long long>(r.l1_hits),
+          static_cast<long long>(r.l2_hits), static_cast<long long>(r.l3_hits),
+          static_cast<long long>(r.misses),
+          static_cast<long long>(r.refreshes),
+          static_cast<long long>(r.invalidations),
+          static_cast<long long>(r.reloads),
+          r.role.empty() ? "?" : r.role.c_str());
+    }
   }
 
   if (args.status_job >= 0) {
@@ -480,6 +506,8 @@ int main(int argc, char** argv) {
       remote.tenant = v;
     } else if (flag_value(argv[i], "--budget", &v)) {
       remote.budget = std::atoll(v);
+    } else if (flag_value(argv[i], "--weight", &v)) {
+      remote.weight = std::atof(v);
     } else if (flag_value(argv[i], "--tune", &v)) {
       remote.tune_network = v;
     } else if (flag_value(argv[i], "--batch", &v)) {
@@ -527,11 +555,13 @@ int main(int argc, char** argv) {
     remote.hw = hw_name;
     remote.repeat = repeat;
     remote.expect_best = expect_best;
+    remote.tier_stats = tier_stats;
     remote.logs = logs;
     return remote_main(remote);
   }
   if (!remote.tune_network.empty() || remote.watch_job >= 0 ||
-      remote.status_job >= 0 || remote.stats || remote.do_shutdown) {
+      remote.status_job >= 0 || remote.stats || remote.do_shutdown ||
+      remote.weight > 0) {
     std::fprintf(stderr, "that flag needs --connect=HOST:PORT\n");
     return 2;
   }
@@ -650,9 +680,10 @@ int main(int argc, char** argv) {
     ServeStats s = cache.stats();
     std::printf(
         "tier stats: queries=%zu l1=%zu l2=%zu l3=%zu miss=%zu inserts=%zu "
-        "duplicates=%zu evictions=%zu rejected=%zu\n",
+        "duplicates=%zu evictions=%zu rejected=%zu refreshes=%zu "
+        "invalidations=%zu\n",
         s.queries, s.l1_hits, s.l2_hits, s.l3_hits, s.misses, s.inserts,
-        s.duplicates, s.evictions, s.rejected);
+        s.duplicates, s.evictions, s.rejected, s.refreshes, s.invalidations);
   }
 
   if (expect_best) {

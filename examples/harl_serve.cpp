@@ -7,8 +7,9 @@
 ///
 ///   harl_serve --state-dir=DIR [--port=N] [--max-concurrent=N]
 ///              [--default-budget=N] [--max-job-trials=N] [--refresh=N]
-///              [--value-model=PATH] [--beam-width=N] [--sample-clusters=N]
-///              [--no-golden] [--quiet]
+///              [--cross-refresh=N] [--value-model=PATH] [--beam-width=N]
+///              [--sample-clusters=N] [--no-golden] [--replica]
+///              [--watch-interval=MS] [--port-file=PATH] [--quiet]
 ///
 ///   --state-dir=DIR       durable root: per-hardware record logs + caches,
 ///                         the jobs.jsonl journal, and the `port` file
@@ -21,6 +22,10 @@
 ///   --refresh=N           in-run experience refresh period in rounds
 ///                         (default 0 = off, keeping restart resume
 ///                         bit-identical)
+///   --cross-refresh=N     cross-shard warm-up: refit one experience model
+///                         per hardware shard every N rounds from every
+///                         shard's records (default 0 = off; like --refresh,
+///                         it changes later sessions' run identity)
 ///   --value-model=PATH    partial-schedule value model (harl_harvest value)
 ///                         shared by every admitted job; part of each job's
 ///                         run identity — a restarted daemon must pass the
@@ -31,6 +36,15 @@
 ///                         round, crediting the rest via the cost model
 ///                         (default 0 = off)
 ///   --no-golden           report misses instead of golden advice (L3)
+///   --replica             read-only replica: share a primary's state dir,
+///                         serve query/stats only, and hot-reload each
+///                         shard's published cache + experience model when
+///                         the primary republishes them
+///   --watch-interval=MS   replica poll cadence for published files
+///                         (default 100)
+///   --port-file=PATH      write the bound port here (default DIR/port for
+///                         a primary, nothing for a replica — replicas never
+///                         clobber the primary's discovery file)
 ///   --quiet               suppress the startup banner
 ///   --help                print usage and exit
 ///
@@ -61,9 +75,11 @@ void usage(std::FILE* out) {
                "usage: harl_serve --state-dir=DIR [--port=N]\n"
                "                  [--max-concurrent=N] [--default-budget=N]\n"
                "                  [--max-job-trials=N] [--refresh=N]\n"
+               "                  [--cross-refresh=N]\n"
                "                  [--value-model=PATH] [--beam-width=N]\n"
-               "                  [--sample-clusters=N]\n"
-               "                  [--no-golden] [--quiet] [--help]\n");
+               "                  [--sample-clusters=N] [--no-golden]\n"
+               "                  [--replica] [--watch-interval=MS]\n"
+               "                  [--port-file=PATH] [--quiet] [--help]\n");
 }
 
 HarlServer* g_server = nullptr;
@@ -94,6 +110,14 @@ int main(int argc, char** argv) {
       opts.max_job_trials = std::atoll(v);
     } else if (flag_value(argv[i], "--refresh", &v)) {
       opts.refresh_period = std::atoi(v);
+    } else if (flag_value(argv[i], "--cross-refresh", &v)) {
+      opts.cross_refresh = std::atoi(v);
+    } else if (flag_value(argv[i], "--watch-interval", &v)) {
+      opts.watch_interval_ms = std::atoi(v);
+    } else if (flag_value(argv[i], "--port-file", &v)) {
+      opts.port_file = v;
+    } else if (std::strcmp(argv[i], "--replica") == 0) {
+      opts.replica = true;
     } else if (flag_value(argv[i], "--value-model", &v)) {
       opts.value_model = v;
     } else if (flag_value(argv[i], "--beam-width", &v)) {
@@ -119,6 +143,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (opts.max_concurrent < 1) opts.max_concurrent = 1;
+  const bool server_is_replica = opts.replica;
 
   HarlServer server(std::move(opts));
   g_server = &server;
@@ -131,7 +156,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!quiet) {
-    std::printf("harl_serve: listening on 127.0.0.1:%d\n", server.port());
+    std::printf("harl_serve: %slistening on 127.0.0.1:%d\n",
+                server_is_replica ? "replica " : "", server.port());
     ServerStats s = server.stats();
     if (s.jobs_resumed > 0) {
       std::printf("harl_serve: resumed %lld unfinished job(s) from the journal\n",

@@ -318,6 +318,11 @@ void FleetTuner::tune_one(std::size_t i) {
   if (opts.cost_model.pretrained == nullptr && opts.experience_model.empty()) {
     ExperienceRefresher::Published latest;
     if (refresher != nullptr) latest = refresher->published();
+    if (latest.model == nullptr && opts_.shared_refresher != nullptr) {
+      // Cross-shard warm-up: an externally-fed refresher (records may come
+      // from sibling shards) republished a model for this shard's hardware.
+      latest = opts_.shared_refresher->published();
+    }
     if (latest.model != nullptr) {
       // Mid-run warm-up: the latest republish supersedes the (cold or
       // static) fleet model for sessions constructed after it.  The

@@ -165,6 +165,13 @@ class FleetTuner {
     /// refresher's refits.  Null = `make_builtin_resolver()`; fleets tuning
     /// custom networks must supply their own or refits harvest zero rows.
     TaskResolver refresh_resolver;
+    /// Externally-owned refresher whose `published()` model warm-starts
+    /// sessions constructed after a republish, exactly like the fleet-owned
+    /// one — but the fleet does *not* register it on its sessions: the owner
+    /// (e.g. a `ShardRefreshHub` fanning records across hardware-class
+    /// shards) decides what feeds it.  Ignored when `refresh_period > 0`
+    /// creates a fleet-owned refresher.  Must outlive the running phase.
+    ExperienceRefresher* shared_refresher = nullptr;
     /// Serving cache kept warm during the run (src/serve/): when set, a
     /// fleet-shared `KnowledgeCacheUpdater` observes every session and folds
     /// each committed measurement into this cache, so concurrent `serve`

@@ -1,0 +1,62 @@
+#include "exp/shard_refresh.hpp"
+
+#include <utility>
+
+namespace harl {
+
+ExperienceRefresher* ShardRefreshHub::register_shard(const std::string& name,
+                                                     const HardwareConfig& hw,
+                                                     RefreshOptions opts,
+                                                     TaskResolver resolver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(name);
+  if (it != shards_.end()) return it->second.get();
+  auto refresher = std::make_unique<ExperienceRefresher>(hw, std::move(opts),
+                                                         std::move(resolver));
+  ExperienceRefresher* raw = refresher.get();
+  shards_.emplace(name, std::move(refresher));
+  return raw;
+}
+
+ExperienceRefresher* ShardRefreshHub::refresher(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = shards_.find(name);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+std::size_t ShardRefreshHub::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::size_t ShardRefreshHub::total_refreshes() const {
+  std::size_t total = 0;
+  for (ExperienceRefresher* r : snapshot()) total += r->refreshes();
+  return total;
+}
+
+std::vector<ExperienceRefresher*> ShardRefreshHub::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ExperienceRefresher*> out;
+  out.reserve(shards_.size());
+  for (const auto& kv : shards_) out.push_back(kv.second.get());
+  return out;
+}
+
+void ShardRefreshHub::on_records(const TaskScheduler& scheduler, int task,
+                                 const std::vector<MeasuredRecord>& records) {
+  // Every shard's refresher sees every record: ExperienceStore featurizes
+  // against the refresher's own hardware at refit time, so a sibling shard's
+  // measurements retrain this shard's model under this shard's hw — the
+  // cross-shard warm-up path.
+  for (ExperienceRefresher* r : snapshot()) {
+    r->on_records(scheduler, task, records);
+  }
+}
+
+void ShardRefreshHub::on_round(const TaskScheduler& scheduler,
+                               const RoundEvent& round) {
+  for (ExperienceRefresher* r : snapshot()) r->on_round(scheduler, round);
+}
+
+}  // namespace harl

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file shard_refresh.hpp
+/// ShardRefreshHub: cross-shard experience warm-up — one `TuningCallback`
+/// that fans every record batch from any shard's sessions into a per-
+/// hardware-class `ExperienceRefresher` for *every* registered shard, so a
+/// GEMM tuned on one machine class warms the structurally similar tasks of
+/// its siblings (each refresher featurizes the shared records against its
+/// own hardware at refit time).  Invariant: each refresher's model bytes
+/// stay a deterministic function of the record set it observed, exactly as
+/// a solo refresher's would — the hub only widens which sessions feed it.
+/// Collaborators: ExperienceRefresher, FleetTuner (shared_refresher hook),
+/// HarlServer.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "exp/refresh.hpp"
+#include "io/callbacks.hpp"
+
+namespace harl {
+
+/// The fan-out hub.  Register one refresher per hardware-class shard, then
+/// add the hub as a callback on every session of every shard (the server
+/// pushes it into each workload's callback list); each `on_records` /
+/// `on_round` event is forwarded to *all* registered refreshers.  A shard's
+/// fleet picks up its own refresher's republished model via
+/// `FleetTuner::Options::shared_refresher` — it must NOT also register that
+/// refresher on its sessions, or the shard's records would fold twice.
+///
+/// Thread-safe: registration and fan-out are guarded by one mutex, and the
+/// fan-out iterates a snapshot, so a refresher registered mid-run joins at
+/// the next event boundary.
+class ShardRefreshHub : public TuningCallback {
+ public:
+  /// Create (or return the existing) refresher for shard `name`, refitting
+  /// against `hw` with `opts`.  The hub owns it; pointers stay valid for the
+  /// hub's lifetime.
+  ExperienceRefresher* register_shard(const std::string& name,
+                                      const HardwareConfig& hw,
+                                      RefreshOptions opts,
+                                      TaskResolver resolver);
+
+  /// Shard `name`'s refresher, or nullptr when unregistered.
+  ExperienceRefresher* refresher(const std::string& name) const;
+
+  std::size_t num_shards() const;
+
+  /// Sum of `refreshes()` across every registered refresher (stats).
+  std::size_t total_refreshes() const;
+
+  // TuningCallback: fan every event to every shard's refresher.
+  void on_records(const TaskScheduler& scheduler, int task,
+                  const std::vector<MeasuredRecord>& records) override;
+  void on_round(const TaskScheduler& scheduler,
+                const RoundEvent& round) override;
+
+ private:
+  std::vector<ExperienceRefresher*> snapshot() const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<ExperienceRefresher>> shards_;
+};
+
+}  // namespace harl

@@ -11,11 +11,25 @@ KnowledgeCacheUpdater::KnowledgeCacheUpdater(KnowledgeCache* cache,
 
 void KnowledgeCacheUpdater::on_records(const TaskScheduler& scheduler, int task,
                                        const std::vector<MeasuredRecord>& records) {
+  bool retired_a_best = false;
   for (const MeasuredRecord& mr : records) {
-    cache_->insert(make_tuning_record(scheduler, task, mr));
+    bool displaced = false;
+    cache_->insert(make_tuning_record(scheduler, task, mr), &displaced);
+    retired_a_best = retired_a_best || displaced;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  records_folded_ += records.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_folded_ += records.size();
+  }
+  // Mid-flight invalidation: a fold just beat a cached best, so any published
+  // copy of this cache is stale.  Republish before waiting out the periodic
+  // cadence so no file reader can serve the retired entry.
+  if (retired_a_best && opts_.publish_on_new_best && !opts_.save_path.empty()) {
+    if (save_now()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++best_publishes_;
+    }
+  }
 }
 
 void KnowledgeCacheUpdater::on_round(const TaskScheduler& scheduler,
@@ -33,9 +47,11 @@ void KnowledgeCacheUpdater::on_round(const TaskScheduler& scheduler,
 bool KnowledgeCacheUpdater::save_now() {
   if (opts_.save_path.empty()) return false;
   std::string error;
-  // save_cache serializes under the cache's own lock and publishes with
-  // write-temp + rename, so concurrent folds and readers are both safe.
-  bool ok = save_cache(*cache_, opts_.save_path, &error, opts_.fsync_publish);
+  // publish_cache serializes under the cache's own lock, publishes with
+  // write-temp + rename (concurrent folds and readers are both safe), and
+  // stamps the published fingerprint as the cache's generation.
+  bool ok =
+      publish_cache(*cache_, opts_.save_path, &error, opts_.fsync_publish);
   std::lock_guard<std::mutex> lock(mu_);
   if (ok) {
     ++saves_;
@@ -59,6 +75,11 @@ std::size_t KnowledgeCacheUpdater::saves() const {
 std::size_t KnowledgeCacheUpdater::save_errors() const {
   std::lock_guard<std::mutex> lock(mu_);
   return save_errors_;
+}
+
+std::size_t KnowledgeCacheUpdater::best_publishes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_publishes_;
 }
 
 }  // namespace harl

@@ -29,6 +29,13 @@ struct CacheUpdateOptions {
   /// fsync each republished cache file (see `save_cache`), trading publish
   /// latency for durability across power loss.
   bool fsync_publish = false;
+  /// Republish immediately when a fold displaces an entry's best record
+  /// (KnowledgeCache::insert reports the displacement), instead of waiting
+  /// out the periodic cadence — the invalidation path: the stale published
+  /// best is retired before the next file reader can serve it.  In-process
+  /// queries are always fresh either way (the cache mutex orders insert
+  /// before serve).
+  bool publish_on_new_best = true;
 };
 
 /// The serving half of the in-run refresh loop: where `ExperienceRefresher`
@@ -56,6 +63,8 @@ class KnowledgeCacheUpdater : public TuningCallback {
   std::size_t records_folded() const;  ///< measurements offered to the cache
   std::size_t saves() const;           ///< successful file publishes
   std::size_t save_errors() const;     ///< failed file publishes (warned)
+  std::size_t best_publishes() const;  ///< immediate publishes after a
+                                       ///< best-displacing fold
 
  private:
   KnowledgeCache* const cache_;
@@ -66,6 +75,7 @@ class KnowledgeCacheUpdater : public TuningCallback {
   std::size_t records_folded_ = 0;
   std::size_t saves_ = 0;
   std::size_t save_errors_ = 0;
+  std::size_t best_publishes_ = 0;
 };
 
 }  // namespace harl

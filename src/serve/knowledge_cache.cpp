@@ -40,7 +40,8 @@ std::shared_ptr<const Gbdt> KnowledgeCache::model() const {
   return model_;
 }
 
-bool KnowledgeCache::insert(const TuningRecord& rec) {
+bool KnowledgeCache::insert(const TuningRecord& rec, bool* displaced_best) {
+  if (displaced_best != nullptr) *displaced_best = false;
   // Failed or timeless records can never serve: reject them at the door so a
   // fault upstream cannot poison an answer.
   if (!(rec.time_ms > 0) || !rec.fail.empty()) {
@@ -50,11 +51,12 @@ bool KnowledgeCache::insert(const TuningRecord& rec) {
   }
   std::string serialized = record_to_json(rec);
   std::lock_guard<std::mutex> lock(mu_);
-  return insert_locked(rec, std::move(serialized));
+  return insert_locked(rec, std::move(serialized), displaced_best);
 }
 
 bool KnowledgeCache::insert_locked(const TuningRecord& rec,
-                                   std::string serialized) {
+                                   std::string serialized,
+                                   bool* displaced_best) {
   Entry& entry = entries_[Key{rec.network, rec.task, rec.hardware_fp}];
   // Position under the total order (time_ms asc, serialized asc).
   std::size_t pos = 0;
@@ -72,6 +74,12 @@ bool KnowledgeCache::insert_locked(const TuningRecord& rec,
   if (pos >= top_k) {
     ++stats_.evictions;  // full of strictly better records
     return false;
+  }
+  if (pos == 0 && !entry.records.empty()) {
+    // The entry's previous best is retired: the cached answer for this key
+    // just changed and any published copy is stale.
+    ++stats_.invalidations;
+    if (displaced_best != nullptr) *displaced_best = true;
   }
   entry.records.insert(entry.records.begin() + static_cast<std::ptrdiff_t>(pos),
                        rec);
@@ -311,6 +319,23 @@ void KnowledgeCache::reset_stats() {
   stats_ = ServeStats{};
 }
 
+std::uint64_t KnowledgeCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void KnowledgeCache::note_publish(std::uint64_t fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_ = fp;
+  ++stats_.refreshes;
+}
+
+void KnowledgeCache::note_reload(std::uint64_t fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  generation_ = fp;
+  ++stats_.refreshes;
+}
+
 Schedule golden_advice_schedule(const Sketch& sketch, int num_unroll_options) {
   // A valid structure first (fixed seed: pure function of the sketch), then
   // the heuristic defaults: even per-level tile shares, no unrolling, root
@@ -478,14 +503,33 @@ bool load_cache(const std::string& path, KnowledgeCache* out,
   return true;
 }
 
-std::uint64_t cache_fingerprint(const KnowledgeCache& cache) {
-  std::string text = cache_to_json(cache);
+namespace {
+
+std::uint64_t fnv1a(const std::string& text) {
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
   for (unsigned char c : text) {
     h ^= c;
     h *= 1099511628211ULL;
   }
   return h == 0 ? 1 : h;
+}
+
+}  // namespace
+
+bool publish_cache(KnowledgeCache& cache, const std::string& path,
+                   std::string* error, bool fsync) {
+  // Serialize exactly once so the stamped generation is the fingerprint of
+  // the bytes a reader of `path` will actually see.
+  std::string text = cache_to_json(cache);
+  if (!atomic_write_file(path, with_checksum_footer(text), fsync, error)) {
+    return false;
+  }
+  cache.note_publish(fnv1a(text));
+  return true;
+}
+
+std::uint64_t cache_fingerprint(const KnowledgeCache& cache) {
+  return fnv1a(cache_to_json(cache));
 }
 
 }  // namespace harl

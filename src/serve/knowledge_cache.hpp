@@ -73,6 +73,13 @@ struct ServeStats {
   std::size_t evictions = 0;   ///< records dropped by the top-k bound
   std::size_t rejected = 0;    ///< failed/timeless records refused on insert,
                                ///< plus candidates dropped during rebuild
+  /// Inserts that displaced an entry's previous best record: the old answer
+  /// for that (network, task, hw) key is retired and the next query serves
+  /// the new best.
+  std::size_t invalidations = 0;
+  /// Generation changes observed: publishes (`note_publish`) plus reloads
+  /// (`note_reload`).  A serving process that never republishes stays at 0.
+  std::size_t refreshes = 0;
 };
 
 /// One served answer.  `schedule.sketch` points into the cache's per-task
@@ -127,8 +134,12 @@ class KnowledgeCache {
 
   /// Fold one record in.  Returns true when the record entered its entry
   /// (false: non-positive time, byte-identical duplicate, or evicted
-  /// immediately because the entry is full of better records).
-  bool insert(const TuningRecord& rec);
+  /// immediately because the entry is full of better records).  When
+  /// `displaced_best` is non-null it is set to true iff the record became
+  /// the new best of a previously non-empty entry — i.e. the cached answer
+  /// for that key was just invalidated and should be republished before the
+  /// next query can serve it stale.
+  bool insert(const TuningRecord& rec, bool* displaced_best = nullptr);
 
   /// Fold every well-formed record of a JSONL tuning log (missing file = 0,
   /// matching `read_records`).  Returns the records that entered the cache.
@@ -146,6 +157,22 @@ class KnowledgeCache {
 
   ServeStats stats() const;
   void reset_stats();
+
+  /// The cache generation: the content fingerprint stamped at the last
+  /// publish/reload, 0 until one happens.  Deliberately *not* part of the
+  /// serialized cache (contents stay a pure function of the record set);
+  /// it identifies which published snapshot a serving process answers from,
+  /// so replicas and the primary can be compared generation-for-generation.
+  std::uint64_t generation() const;
+
+  /// Record that the cache was just published as generation `fp`
+  /// (`cache_fingerprint` of the published bytes).  Bumps
+  /// `ServeStats::refreshes`.
+  void note_publish(std::uint64_t fp);
+
+  /// Record that this cache was just (re)loaded from a published file of
+  /// generation `fp`.  Bumps `ServeStats::refreshes`.
+  void note_reload(std::uint64_t fp);
 
  private:
   friend std::string cache_to_json(const KnowledgeCache& cache);
@@ -179,7 +206,8 @@ class KnowledgeCache {
     std::vector<Sketch> sketches;
   };
 
-  bool insert_locked(const TuningRecord& rec, std::string serialized);
+  bool insert_locked(const TuningRecord& rec, std::string serialized,
+                     bool* displaced_best = nullptr);
   const TaskContext& context_locked(const std::string& network,
                                     const Subgraph& task);
   ServeResult serve_l2_locked(const Key& query_key, const Subgraph& task,
@@ -193,6 +221,7 @@ class KnowledgeCache {
       contexts_;
   std::shared_ptr<const Gbdt> model_;
   ServeStats stats_;
+  std::uint64_t generation_ = 0;  ///< last published/loaded fingerprint
 };
 
 /// The L3 default: a deterministic heuristic schedule of the sketch — every
@@ -227,6 +256,12 @@ bool save_cache(const KnowledgeCache& cache, const std::string& path,
                 std::string* error = nullptr, bool fsync = false);
 bool load_cache(const std::string& path, KnowledgeCache* out,
                 std::string* error = nullptr);
+
+/// `save_cache` + generation stamp in one step: serialize once, write
+/// atomically, and on success `note_publish` the written bytes' fingerprint,
+/// so `generation()` always names the snapshot a reader of `path` sees.
+bool publish_cache(KnowledgeCache& cache, const std::string& path,
+                   std::string* error = nullptr, bool fsync = false);
 
 /// Stable identity of a cache's contents: FNV-1a over the canonical
 /// serialization, never 0.

@@ -129,7 +129,8 @@ bool Request::operator==(const Request& o) const {
   return version == o.version && type == o.type && tenant == o.tenant &&
          budget == o.budget && network == o.network && task == o.task &&
          hw == o.hw && trials == o.trials && batch == o.batch &&
-         seed == o.seed && policy == o.policy && job == o.job;
+         seed == o.seed && policy == o.policy && job == o.job &&
+         weight == o.weight;
 }
 
 bool Response::operator==(const Response& o) const {
@@ -146,7 +147,10 @@ bool Response::operator==(const Response& o) const {
          jobs_admitted == o.jobs_admitted &&
          jobs_rejected == o.jobs_rejected &&
          jobs_completed == o.jobs_completed &&
-         jobs_resumed == o.jobs_resumed && tenants == o.tenants;
+         jobs_resumed == o.jobs_resumed && tenants == o.tenants &&
+         cache_gen == o.cache_gen && role == o.role &&
+         refreshes == o.refreshes && invalidations == o.invalidations &&
+         reloads == o.reloads;
 }
 
 std::string request_to_json(const Request& req) {
@@ -163,6 +167,7 @@ std::string request_to_json(const Request& req) {
   if (req.seed != 42) obj.set("seed", json::Value::number(req.seed));
   if (!req.policy.empty()) obj.set("policy", json::Value::string(req.policy));
   if (req.job >= 0) obj.set("job", json::Value::number(req.job));
+  if (req.weight > 0) obj.set("weight", json::Value::number(req.weight));
   return obj.dump();
 }
 
@@ -186,6 +191,9 @@ std::string response_to_json(const Response& resp) {
     obj.set("record", json::Value::string(resp.record));
   }
   if (resp.serve_us >= 0) obj.set("serve_us", json::Value::number(resp.serve_us));
+  if (resp.cache_gen != 0) {
+    obj.set("cache_gen", json::Value::number(resp.cache_gen));
+  }
   if (resp.job >= 0) obj.set("job", json::Value::number(resp.job));
   if (!resp.state.empty()) obj.set("state", json::Value::string(resp.state));
   if (resp.trials_used >= 0) {
@@ -220,6 +228,14 @@ std::string response_to_json(const Response& resp) {
     obj.set("jobs_resumed", json::Value::number(resp.jobs_resumed));
   }
   if (resp.tenants >= 0) obj.set("tenants", json::Value::number(resp.tenants));
+  if (!resp.role.empty()) obj.set("role", json::Value::string(resp.role));
+  if (resp.refreshes >= 0) {
+    obj.set("refreshes", json::Value::number(resp.refreshes));
+  }
+  if (resp.invalidations >= 0) {
+    obj.set("invalidations", json::Value::number(resp.invalidations));
+  }
+  if (resp.reloads >= 0) obj.set("reloads", json::Value::number(resp.reloads));
   return obj.dump();
 }
 
@@ -258,6 +274,7 @@ bool request_from_json(const std::string& line, Request* out,
   if (!get_uint(doc, "seed", &req.seed, error)) return false;
   if (!get_string(doc, "policy", &req.policy, error)) return false;
   if (!get_int(doc, "job", &req.job, error)) return false;
+  if (!get_double(doc, "weight", &req.weight, error)) return false;
   *out = std::move(req);
   return true;
 }
@@ -279,6 +296,7 @@ bool response_from_json(const std::string& line, Response* out,
   if (!get_uint(doc, "schedule_fp", &resp.schedule_fp, error)) return false;
   if (!get_string(doc, "record", &resp.record, error)) return false;
   if (!get_double(doc, "serve_us", &resp.serve_us, error)) return false;
+  if (!get_uint(doc, "cache_gen", &resp.cache_gen, error)) return false;
   if (!get_int(doc, "job", &resp.job, error)) return false;
   if (!get_string(doc, "state", &resp.state, error)) return false;
   if (!get_int(doc, "trials_used", &resp.trials_used, error)) return false;
@@ -301,6 +319,10 @@ bool response_from_json(const std::string& line, Response* out,
   }
   if (!get_int(doc, "jobs_resumed", &resp.jobs_resumed, error)) return false;
   if (!get_int(doc, "tenants", &resp.tenants, error)) return false;
+  if (!get_string(doc, "role", &resp.role, error)) return false;
+  if (!get_int(doc, "refreshes", &resp.refreshes, error)) return false;
+  if (!get_int(doc, "invalidations", &resp.invalidations, error)) return false;
+  if (!get_int(doc, "reloads", &resp.reloads, error)) return false;
   *out = std::move(resp);
   return true;
 }

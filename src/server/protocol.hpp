@@ -51,6 +51,7 @@ struct Request {
   std::uint64_t seed = 42;   ///< tune: SearchOptions::seed (run identity)
   std::string policy;        ///< tune: search policy name ("" = HARL)
   std::int64_t job = -1;     ///< status/subscribe: job id
+  double weight = 0;         ///< hello: fair-queue weight (0 = keep current)
 
   bool operator==(const Request& o) const;
 };
@@ -71,6 +72,8 @@ struct Response {
   std::uint64_t schedule_fp = 0;
   std::string record;     ///< winning record, verbatim record_to_json bytes
   double serve_us = -1;   ///< server-side KnowledgeCache::serve latency
+  std::uint64_t cache_gen = 0;  ///< answering shard's published cache
+                                ///< generation (0 = never published/loaded)
 
   // tune/status/subscribe
   std::int64_t job = -1;
@@ -93,6 +96,10 @@ struct Response {
   std::int64_t jobs_completed = -1;
   std::int64_t jobs_resumed = -1;  ///< jobs re-admitted by restart recovery
   std::int64_t tenants = -1;
+  std::string role;                ///< "primary" | "replica" (stats reply)
+  std::int64_t refreshes = -1;     ///< cache generations published/loaded
+  std::int64_t invalidations = -1; ///< cached bests retired by live tuning
+  std::int64_t reloads = -1;       ///< replica hot-reloads of published files
 
   bool operator==(const Response& o) const;
 };

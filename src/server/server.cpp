@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "cost/gbdt_io.hpp"
 #include "exp/experience.hpp"
 #include "io/json.hpp"
 #include "io/safe_file.hpp"
@@ -85,6 +86,29 @@ Response error_response(std::string message) {
   resp.ok = false;
   resp.error = std::move(message);
   return resp;
+}
+
+/// (mtime, size) folded into one comparable stamp for the replica's cheap
+/// "did the published file change?" poll; -1 = the file does not exist.
+std::int64_t file_stamp(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return -1;
+  return (static_cast<std::int64_t>(st.st_mtime) << 20) ^
+         static_cast<std::int64_t>(st.st_size);
+}
+
+void accumulate(ServeStats* into, const ServeStats& s) {
+  into->queries += s.queries;
+  into->l1_hits += s.l1_hits;
+  into->l2_hits += s.l2_hits;
+  into->l3_hits += s.l3_hits;
+  into->misses += s.misses;
+  into->inserts += s.inserts;
+  into->duplicates += s.duplicates;
+  into->evictions += s.evictions;
+  into->rejected += s.rejected;
+  into->invalidations += s.invalidations;
+  into->refreshes += s.refreshes;
 }
 
 }  // namespace
@@ -169,8 +193,10 @@ bool HarlServer::start(std::string* error) {
     }
     return false;
   }
-  if (!recover(error)) return false;
-  {
+  if (!opts_.replica) {
+    // Replicas never recover or journal: the shared journal belongs to the
+    // primary, and a replica admits nothing it could need to replay.
+    if (!recover(error)) return false;
     std::lock_guard<std::mutex> lk(journal_mu_);
     journal_ = std::fopen((opts_.state_dir + "/jobs.jsonl").c_str(), "a");
     if (journal_ == nullptr) {
@@ -212,22 +238,98 @@ bool HarlServer::start(std::string* error) {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = static_cast<int>(ntohs(addr.sin_port));
 
-  // Publish the bound port for scripts (ephemeral ports especially).
-  std::string werr;
-  if (!atomic_write_file(opts_.state_dir + "/port",
-                         std::to_string(port_) + "\n", false, &werr)) {
-    HARL_LOG_WARN("server: cannot write port file: %s", werr.c_str());
+  // Publish the bound port for scripts (ephemeral ports especially).  A
+  // replica defaults to *no* port file: `<state_dir>/port` is the primary's
+  // discovery file and the state dir is read-only territory for replicas.
+  std::string port_file = opts_.port_file;
+  if (port_file.empty() && !opts_.replica) {
+    port_file = opts_.state_dir + "/port";
+  }
+  if (!port_file.empty()) {
+    std::string werr;
+    if (!atomic_write_file(port_file, std::to_string(port_) + "\n", false,
+                           &werr)) {
+      HARL_LOG_WARN("server: cannot write port file: %s", werr.c_str());
+    }
   }
 
-  // Re-dispatch journaled jobs that never finished: same workload identity,
-  // same log file — the fleet salvages + resumes each one bit-identically.
-  {
+  if (!opts_.replica) {
+    // Re-dispatch journaled jobs that never finished: same workload
+    // identity, same log file — the fleet salvages + resumes each one
+    // bit-identically.
     std::lock_guard<std::mutex> lk(jobs_mu_);
     dispatch_locked();
+  } else {
+    watch_thread_ = std::thread([this] { watch_loop(); });
   }
 
   accept_thread_ = std::thread([this] { accept_loop(); });
   return true;
+}
+
+// ---------------------------------------------------------------- replica
+
+void HarlServer::watch_loop() {
+  while (!shutdown_requested_.load()) {
+    std::vector<Shard*> shards;
+    {
+      std::lock_guard<std::mutex> lk(jobs_mu_);
+      for (auto& kv : shards_) shards.push_back(kv.second.get());
+    }
+    for (Shard* shard : shards) reload_shard(shard);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::max(1, opts_.watch_interval_ms)));
+  }
+}
+
+void HarlServer::reload_shard(Shard* shard) {
+  const std::string dir = shard_dir(shard->name);
+  const std::string cache_path = dir + "/knowledge.cache.json";
+  const std::int64_t cache_stamp = file_stamp(cache_path);
+  if (cache_stamp != shard->cache_stamp && cache_stamp != -1) {
+    shard->cache_stamp = cache_stamp;
+    // Validate into a scratch cache first: the live cache must keep serving
+    // the old answers unless the new file is complete and sound (the CRC
+    // footer + atomic rename make a torn read impossible, but a reload must
+    // also never tear the *serving* state).
+    KnowledgeCache fresh(shard->cache.options());
+    std::string err;
+    if (!load_cache(cache_path, &fresh, &err)) {
+      HARL_LOG_WARN("replica: reload of %s skipped: %s", cache_path.c_str(),
+                    err.c_str());
+    } else if (cache_fingerprint(fresh) != shard->cache.generation()) {
+      // Content actually changed: swap the live cache in place.  The second
+      // load lands under the cache's own mutex after full validation, so
+      // queries serve complete old-generation or new-generation answers,
+      // never a mix.  Serve counters survive via the reload base.
+      {
+        std::lock_guard<std::mutex> lk(shard->watch_mu);
+        accumulate(&shard->reload_base, shard->cache.stats());
+      }
+      if (load_cache(cache_path, &shard->cache, &err)) {
+        shard->cache.note_reload(cache_fingerprint(shard->cache));
+        reloads_.fetch_add(1);
+      } else {
+        HARL_LOG_WARN("replica: reload of %s failed: %s", cache_path.c_str(),
+                      err.c_str());
+      }
+    }
+  }
+
+  const std::string model_path = dir + "/experience.model.json";
+  const std::int64_t model_stamp = file_stamp(model_path);
+  if (model_stamp != shard->model_stamp && model_stamp != -1) {
+    shard->model_stamp = model_stamp;
+    auto model = std::make_shared<Gbdt>();
+    std::string err;
+    if (load_gbdt(model_path, model.get(), &err)) {
+      shard->cache.set_model(std::move(model));
+      reloads_.fetch_add(1);
+    } else {
+      HARL_LOG_WARN("replica: model reload of %s failed: %s",
+                    model_path.c_str(), err.c_str());
+    }
+  }
 }
 
 void HarlServer::serve_forever() {
@@ -246,6 +348,7 @@ void HarlServer::shutdown() {
   shutdown_requested_.store(true);
 
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (watch_thread_.joinable()) watch_thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -326,9 +429,13 @@ bool HarlServer::recover(std::string* error) {
     if (ev->as_string() == "tenant") {
       const json::Value* name = doc.find("tenant");
       const json::Value* budget = doc.find("budget");
+      const json::Value* weight = doc.find("weight");
       if (name != nullptr && name->is_string()) {
         registry_.ensure(name->as_string(),
                          budget != nullptr ? budget->as_int64(-1) : -1);
+        if (weight != nullptr && weight->is_number()) {
+          registry_.set_weight(name->as_string(), weight->as_double(0));
+        }
       }
     } else if (ev->as_string() == "job") {
       Job job;
@@ -391,6 +498,19 @@ HarlServer::Shard* HarlServer::shard_for_locked(const std::string& hw_name) {
   shard->name = canon;
   shard->hw = hw;
   std::string dir = shard_dir(canon);
+
+  if (opts_.replica) {
+    // A replica serves the primary's *published* snapshot, not the record
+    // logs: its answers must match the published cache generation exactly,
+    // and the log files may already be rounds ahead of the last publish.
+    // Missing file = a shard the primary has not published yet; serve cold
+    // (L3/miss) until the watcher sees the first publish.
+    Shard* out = shard.get();
+    shards_.emplace(canon, std::move(shard));
+    reload_shard(out);
+    return out;
+  }
+
   make_dirs(dir);
   // Hydrate from the shard's record logs: the cache is a pure function of
   // the record set, so replaying the logs beats trusting a maybe-stale
@@ -408,6 +528,23 @@ HarlServer::Shard* HarlServer::shard_for_locked(const std::string& hw_name) {
   fopts.refresh_period = opts_.refresh_period;
   fopts.value_model = opts_.value_model;
   fopts.async_callbacks.enabled = true;
+  if (opts_.cross_refresh > 0) {
+    // Cross-shard warm-up: one refresher per shard under the shared hub.
+    // The hub — pushed into every workload's callback list at dispatch —
+    // fans all shards' records into this refresher, and the fleet picks the
+    // republished model up for later sessions via shared_refresher.  The
+    // fleet must NOT also register the refresher on its sessions (that is
+    // what refresh_period would do), or this shard's records would fold in
+    // twice.
+    if (refresh_hub_ == nullptr) {
+      refresh_hub_ = std::make_unique<ShardRefreshHub>();
+    }
+    RefreshOptions ropts;
+    ropts.period_rounds = opts_.cross_refresh;
+    ropts.publish_path = dir + "/experience.model.json";
+    fopts.shared_refresher = refresh_hub_->register_shard(
+        canon, hw, std::move(ropts), make_builtin_resolver());
+  }
   std::string shard_name = canon;
   fopts.on_complete = [this, shard_name](int index,
                                          const FleetNetworkResult& result) {
@@ -425,17 +562,26 @@ HarlServer::Shard* HarlServer::shard_for_locked(const std::string& hw_name) {
 
 void HarlServer::dispatch_locked() {
   while (active_jobs_ < opts_.max_concurrent && !pending_.empty()) {
-    // Cross-tenant Eq. 3: pick the tenant, then FIFO within the tenant.
-    std::vector<std::string> tenants;
+    // Weighted fair dispatch: deficit round-robin over the distinct tenants
+    // with queued work (a tenant's head FIFO job's trials are its cost), Eq. 3
+    // gradient selection among the tenants whose deficit can afford their
+    // head job.  Candidates are built in pending_ (admission) order, so the
+    // whole pick is deterministic — a replayed journal re-dispatches in the
+    // exact same order.
+    std::vector<DispatchCandidate> candidates;
     for (std::int64_t id : pending_) {
-      const std::string& t = jobs_[id].tenant;
-      if (std::find(tenants.begin(), tenants.end(), t) == tenants.end()) {
-        tenants.push_back(t);
+      const Job& j = jobs_[id];
+      auto dup = std::find_if(candidates.begin(), candidates.end(),
+                              [&](const DispatchCandidate& c) {
+                                return c.name == j.tenant;
+                              });
+      if (dup == candidates.end()) {
+        candidates.push_back(DispatchCandidate{j.tenant, j.trials});
       }
     }
-    int winner = registry_.pick(tenants);
+    int winner = registry_.pick_weighted(candidates);
     if (winner < 0) return;
-    const std::string& tenant = tenants[static_cast<std::size_t>(winner)];
+    const std::string tenant = candidates[static_cast<std::size_t>(winner)].name;
     auto slot = std::find_if(pending_.begin(), pending_.end(),
                              [&](std::int64_t id) {
                                return jobs_[id].tenant == tenant;
@@ -469,6 +615,12 @@ void HarlServer::dispatch_locked() {
     auto publisher = std::make_unique<ProgressPublisher>(this, job.id);
     w.callbacks.push_back(publisher.get());
     publishers_[job.id] = std::move(publisher);
+    if (refresh_hub_ != nullptr) {
+      // Every job's records feed every shard's refresher (cross-shard
+      // warm-up); shard_for_locked above guarantees this shard's refresher
+      // is registered before its first job runs.
+      w.callbacks.push_back(refresh_hub_.get());
+    }
 
     int fleet_index = shard->fleet->submit(std::move(w));
     shard->fleet_to_job[fleet_index] = job.id;
@@ -476,6 +628,16 @@ void HarlServer::dispatch_locked() {
     job.state = FleetJobState::kRunning;
     active_jobs_ += 1;
     pending_.erase(slot);
+    bool tenant_drained =
+        std::none_of(pending_.begin(), pending_.end(), [&](std::int64_t id) {
+          return jobs_[id].tenant == tenant;
+        });
+    if (tenant_drained) {
+      // A tenant with no queued work must not bank credit while idle: reset
+      // its deficit so a returning burst competes from zero, like a fresh
+      // arrival (classic DRR empty-queue rule).
+      registry_.clear_deficit(tenant);
+    }
   }
 }
 
@@ -540,14 +702,19 @@ void HarlServer::publish_event(std::int64_t job_id, const Response& event,
 // ---------------------------------------------------------------- requests
 
 Response HarlServer::handle_hello(const Request& req) {
+  if (opts_.replica) {
+    return error_response("read-only replica: hello is primary-only");
+  }
   if (req.tenant.empty()) return error_response("hello needs a tenant name");
   registry_.ensure(req.tenant, req.budget);
-  if (req.budget >= 0) {
+  if (req.weight > 0) registry_.set_weight(req.tenant, req.weight);
+  if (req.budget >= 0 || req.weight > 0) {
     json::Value line = json::Value::object();
     line.set("v", json::Value::number(static_cast<std::int64_t>(1)));
     line.set("ev", json::Value::string("tenant"));
     line.set("tenant", json::Value::string(req.tenant));
-    line.set("budget", json::Value::number(req.budget));
+    if (req.budget >= 0) line.set("budget", json::Value::number(req.budget));
+    if (req.weight > 0) line.set("weight", json::Value::number(req.weight));
     journal_append(line.dump());
   }
   Response resp;
@@ -591,6 +758,9 @@ Response HarlServer::handle_query(const Request& req) {
   resp.ok = true;
   resp.tier = serve_tier_name(result.tier);
   resp.serve_us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  // The cache generation the answer came from — a replica reply carries the
+  // same value as the primary's last publish iff it has caught up.
+  resp.cache_gen = shard->cache.generation();
   if (result.tier != ServeTier::kMiss) {
     resp.schedule_fp = result.schedule.fingerprint();
     resp.est_time_ms = result.est_time_ms;
@@ -603,6 +773,9 @@ Response HarlServer::handle_query(const Request& req) {
 }
 
 Response HarlServer::handle_tune(const Request& req) {
+  if (opts_.replica) {
+    return error_response("read-only replica: tune is primary-only");
+  }
   std::string tenant = req.tenant.empty() ? "default" : req.tenant;
   if (req.network.empty() || !known_network_base(req.network)) {
     return error_response("tune needs a builtin network base name "
@@ -674,6 +847,9 @@ Response HarlServer::handle_tune(const Request& req) {
 }
 
 Response HarlServer::handle_status(const Request& req) {
+  if (opts_.replica) {
+    return error_response("read-only replica: status is primary-only");
+  }
   std::lock_guard<std::mutex> lk(jobs_mu_);
   auto it = jobs_.find(req.job);
   if (it == jobs_.end()) {
@@ -714,6 +890,10 @@ Response HarlServer::handle_stats() {
   resp.jobs_completed = s.jobs_completed;
   resp.jobs_resumed = s.jobs_resumed;
   resp.tenants = s.tenants;
+  resp.role = opts_.replica ? "replica" : "primary";
+  resp.refreshes = s.refreshes;
+  resp.invalidations = s.invalidations;
+  resp.reloads = s.reloads;
   return resp;
 }
 
@@ -721,18 +901,27 @@ ServerStats HarlServer::stats() const {
   ServerStats out;
   std::lock_guard<std::mutex> lk(jobs_mu_);
   for (const auto& kv : shards_) {
+    // A replica's live cache loses its counters on every hot reload
+    // (cache_from_json resets them), so fold in the pre-reload base too.
     ServeStats cs = kv.second->cache.stats();
+    {
+      std::lock_guard<std::mutex> wlk(kv.second->watch_mu);
+      accumulate(&cs, kv.second->reload_base);
+    }
     out.queries += static_cast<std::int64_t>(cs.queries);
     out.l1_hits += static_cast<std::int64_t>(cs.l1_hits);
     out.l2_hits += static_cast<std::int64_t>(cs.l2_hits);
     out.l3_hits += static_cast<std::int64_t>(cs.l3_hits);
     out.misses += static_cast<std::int64_t>(cs.misses);
+    out.invalidations += static_cast<std::int64_t>(cs.invalidations);
+    out.refreshes += static_cast<std::int64_t>(cs.refreshes);
   }
   out.jobs_admitted = jobs_admitted_;
   out.jobs_rejected = jobs_rejected_;
   out.jobs_completed = jobs_completed_;
   out.jobs_resumed = jobs_resumed_;
   out.tenants = registry_.num_tenants();
+  out.reloads = reloads_.load();
   return out;
 }
 
@@ -755,6 +944,9 @@ Response HarlServer::handle_request(const Request& req,
       return resp;
     }
     case RequestType::kSubscribe: {
+      if (opts_.replica) {
+        return error_response("read-only replica: subscribe is primary-only");
+      }
       if (conn == nullptr) {
         return error_response("subscribe needs a streaming connection");
       }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/fleet.hpp"
+#include "exp/shard_refresh.hpp"
 #include "serve/knowledge_cache.hpp"
 #include "server/protocol.hpp"
 #include "server/tenant.hpp"
@@ -68,6 +69,28 @@ struct ServerOptions {
   /// fingerprint as `vm`.  Like `tuning`, part of every job's run identity —
   /// a restarted daemon must pass the same model for resume to replay.
   std::string value_model;
+  /// Read-only replica mode (`harl_serve --replica`): share another daemon's
+  /// state dir, serve queries/stats only (tune/hello/status/subscribe are
+  /// rejected), never touch the journal or record logs, and hot-reload each
+  /// shard's published `knowledge.cache.json` / `experience.model.json`
+  /// whenever the primary republishes them (atomic: the CRC footer + rename
+  /// publish means a reload sees complete old or new bytes, never torn).
+  bool replica = false;
+  /// Replica file-watch poll cadence in milliseconds.
+  int watch_interval_ms = 100;
+  /// Cross-shard experience warm-up: when > 0, a `ShardRefreshHub` observes
+  /// every job's records and refits one `ExperienceRefresher` per hardware
+  /// shard every `cross_refresh` rounds, so records tuned on one shard warm
+  /// structurally similar tasks on its siblings (each shard's fleet picks
+  /// the republished model up for its *next* session via
+  /// `FleetTuner::Options::shared_refresher`).  Off (0) by default for the
+  /// same reason as `refresh_period`: a refreshed model changes the `xm` of
+  /// later sessions, which restart-resume bit-identity gates cannot allow.
+  int cross_refresh = 0;
+  /// File the bound port is written to.  Empty = `<state_dir>/port` for a
+  /// primary and *nothing* for a replica (replicas must not clobber the
+  /// primary's discovery file in the shared state dir).
+  std::string port_file;
 };
 
 /// Server-wide monotonic counters (the `stats` reply).
@@ -82,6 +105,9 @@ struct ServerStats {
   std::int64_t jobs_completed = 0;
   std::int64_t jobs_resumed = 0;  ///< jobs re-admitted by restart recovery
   std::int64_t tenants = 0;
+  std::int64_t invalidations = 0;  ///< cached bests retired by live tuning
+  std::int64_t refreshes = 0;      ///< cache generations published/loaded
+  std::int64_t reloads = 0;        ///< replica hot-reloads of published files
 };
 
 /// The daemon.  Lifecycle: construct → `start()` (recover + bind + accept
@@ -140,13 +166,25 @@ class HarlServer {
   };
 
   /// One hardware class: its own knowledge cache, record-log directory, and
-  /// fleet pool, so record streams from different machines never mix.
+  /// fleet pool, so record streams from different machines never mix.  A
+  /// replica's shards have no fleet; their caches mirror the primary's
+  /// published files instead of the record logs.
   struct Shard {
     std::string name;
     HardwareConfig hw;
     KnowledgeCache cache;
     std::unique_ptr<FleetTuner> fleet;
     std::map<int, std::int64_t> fleet_to_job;  ///< fleet index -> job id
+    /// Replica watch state: last seen (mtime, size) of the published cache
+    /// and model files, and the serve counters accumulated across reloads
+    /// (`cache_from_json` resets the live cache's stats on each reload).
+    /// The stamps are touched only by the single reload path; `reload_base`
+    /// is also read by `stats()`, so it gets its own lock (`jobs_mu_` won't
+    /// do — the first reload happens under it, later ones without it).
+    std::int64_t cache_stamp = -1;
+    std::int64_t model_stamp = -1;
+    std::mutex watch_mu;
+    ServeStats reload_base;
 
     explicit Shard(KnowledgeCacheOptions copts) : cache(copts) {}
   };
@@ -159,6 +197,8 @@ class HarlServer {
   void journal_append(const std::string& line);
   bool recover(std::string* error);
   void dispatch_locked();
+  void watch_loop();
+  void reload_shard(Shard* shard);
   void handle_fleet_complete(const std::string& shard_name, int fleet_index,
                              const FleetNetworkResult& result);
   void publish_event(std::int64_t job_id, const Response& event,
@@ -181,6 +221,7 @@ class HarlServer {
   int port_ = 0;
   int listen_fd_ = -1;
   std::thread accept_thread_;
+  std::thread watch_thread_;  ///< replica mode: published-file poller
   std::atomic<bool> shutdown_requested_{false};
   bool shutdown_done_ = false;
   std::mutex shutdown_mu_;
@@ -200,6 +241,12 @@ class HarlServer {
   std::int64_t jobs_rejected_ = 0;
   std::int64_t jobs_completed_ = 0;
   std::int64_t jobs_resumed_ = 0;
+  /// Replica: published-file hot-reloads.  Atomic because the watcher bumps
+  /// it and shard_for_locked triggers a first reload under jobs_mu_.
+  std::atomic<std::int64_t> reloads_{0};
+  /// Cross-shard warm-up hub (opts_.cross_refresh > 0): one refresher per
+  /// shard, fed by every job's records via the workload callback list.
+  std::unique_ptr<ShardRefreshHub> refresh_hub_;
 
   std::mutex journal_mu_;
   std::FILE* journal_ = nullptr;

@@ -1,6 +1,7 @@
 #include "server/tenant.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace harl {
 
@@ -19,6 +20,18 @@ void TenantRegistry::ensure(const std::string& name, std::int64_t budget) {
   std::lock_guard<std::mutex> lk(mu_);
   TenantStatus& t = ensure_locked(name);
   if (budget >= 0) t.budget = std::max(budget, t.charged);
+}
+
+void TenantRegistry::set_weight(const std::string& name, double weight) {
+  if (!(weight > 0)) return;  // 0 (and NaN/negative) = leave unchanged
+  std::lock_guard<std::mutex> lk(mu_);
+  ensure_locked(name).weight = weight;
+}
+
+double TenantRegistry::weight(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? 1.0 : it->second.weight;
 }
 
 bool TenantRegistry::admit(const std::string& name, std::int64_t trials,
@@ -70,16 +83,14 @@ void TenantRegistry::on_job_complete(const std::string& name,
       1, trials_used >= 0 ? trials_used : trials_admitted);
 }
 
-int TenantRegistry::pick(const std::vector<std::string>& candidates) const {
-  if (candidates.empty()) return -1;
-  std::lock_guard<std::mutex> lk(mu_);
-
+int TenantRegistry::pick_locked(
+    const std::vector<const std::string*>& names) const {
   // Normalize the backward (observed-rate) term across the candidate set so
   // it is comparable to the [-1, 0] forward term, mirroring how Eq. 3's
   // terms share a scale within one scheduler.
   double max_rate = 0;
-  for (const std::string& name : candidates) {
-    auto it = tenants_.find(name);
+  for (const std::string* name : names) {
+    auto it = tenants_.find(*name);
     if (it == tenants_.end()) continue;
     const TenantStatus& t = it->second;
     if (t.last_job_trials > 0 && t.last_gain_ms > 0) {
@@ -91,8 +102,8 @@ int TenantRegistry::pick(const std::vector<std::string>& candidates) const {
   int best = -1;
   double best_grad = 0;
   const std::string* best_name = nullptr;
-  for (std::size_t c = 0; c < candidates.size(); ++c) {
-    const std::string& name = candidates[c];
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    const std::string& name = *names[c];
     double backward = 0;
     double forward = 0;
     auto it = tenants_.find(name);
@@ -117,10 +128,78 @@ int TenantRegistry::pick(const std::vector<std::string>& candidates) const {
         (grad == best_grad && name < *best_name)) {
       best = static_cast<int>(c);
       best_grad = grad;
-      best_name = &candidates[c];
+      best_name = names[c];
     }
   }
   return best;
+}
+
+int TenantRegistry::pick(const std::vector<std::string>& candidates) const {
+  if (candidates.empty()) return -1;
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<const std::string*> names;
+  names.reserve(candidates.size());
+  for (const std::string& name : candidates) names.push_back(&name);
+  return pick_locked(names);
+}
+
+int TenantRegistry::pick_weighted(
+    const std::vector<DispatchCandidate>& candidates) {
+  if (candidates.empty()) return -1;
+  std::lock_guard<std::mutex> lk(mu_);
+
+  // Deficits live on the status: materialize every candidate tenant first.
+  for (const DispatchCandidate& c : candidates) ensure_locked(c.name);
+
+  auto affordable = [&](const DispatchCandidate& c) {
+    // Tolerance: a top-up computes `k * weight` in floating point, which may
+    // land an epsilon under the integral cost it was sized to reach.
+    return tenants_.at(c.name).deficit >= static_cast<double>(c.cost) - 1e-6;
+  };
+
+  bool any = false;
+  for (const DispatchCandidate& c : candidates) any = any || affordable(c);
+  if (!any) {
+    // Top-up round: give every backlogged tenant `k` quanta of credit
+    // (one quantum = `weight` trials), with k the smallest whole number
+    // that makes at least one candidate affordable — the closed form of
+    // "spin the round-robin wheel until someone can pay".
+    double k = 0;
+    bool first = true;
+    for (const DispatchCandidate& c : candidates) {
+      const TenantStatus& t = tenants_.at(c.name);
+      double need =
+          std::ceil((static_cast<double>(c.cost) - t.deficit) / t.weight);
+      if (need < 1) need = 1;
+      if (first || need < k) k = need;
+      first = false;
+    }
+    for (const DispatchCandidate& c : candidates) {
+      TenantStatus& t = tenants_.at(c.name);
+      t.deficit += k * t.weight;
+    }
+  }
+
+  // Eq. 3 gradient argmin over the tenants whose credit covers their job.
+  std::vector<const std::string*> names;
+  std::vector<int> index;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    if (!affordable(candidates[c])) continue;
+    names.push_back(&candidates[c].name);
+    index.push_back(static_cast<int>(c));
+  }
+  if (names.empty()) return -1;  // unreachable: the top-up guarantees one
+  int within = pick_locked(names);
+  int winner = index[static_cast<std::size_t>(within)];
+  tenants_.at(candidates[static_cast<std::size_t>(winner)].name).deficit -=
+      static_cast<double>(candidates[static_cast<std::size_t>(winner)].cost);
+  return winner;
+}
+
+void TenantRegistry::clear_deficit(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = tenants_.find(name);
+  if (it != tenants_.end()) it->second.deficit = 0;
 }
 
 std::int64_t TenantRegistry::remaining(const std::string& name) const {

@@ -26,8 +26,18 @@ struct TenantStatus {
   std::int64_t jobs_completed = 0;
   double last_gain_ms = 0;       ///< latency gain of the last completed job
   std::int64_t last_job_trials = 0;  ///< trials that gain cost
+  double weight = 1.0;           ///< fair-queue share (deficit accrual rate)
+  double deficit = 0;            ///< unspent dispatch credit, in trials
 
   std::int64_t remaining() const { return budget - charged; }
+};
+
+/// One tenant's claim on the next fleet slot: its name and the cost (trial
+/// budget) of the job it would dispatch — the unit the deficit counters are
+/// denominated in.
+struct DispatchCandidate {
+  std::string name;
+  std::int64_t cost = 1;
 };
 
 /// Thread-safe per-tenant budget book and priority selector.
@@ -51,6 +61,18 @@ struct TenantStatus {
 /// with the most unspent budget (headroom), so a freshly-registered tenant
 /// is not starved by an incumbent on a hot streak.  Ties break on the
 /// lexicographically smallest name, making scheduling reproducible.
+///
+/// `pick_weighted` wraps that gradient in a deficit-round-robin fairness
+/// layer (`weight`/`deficit` on the status): each tenant accrues dispatch
+/// credit proportional to its weight, only tenants whose credit covers their
+/// head job's trial cost are eligible for the gradient argmin, and the
+/// winner pays its cost from its credit.  Credit only accrues when *no*
+/// candidate can afford its job (a top-up round), so under sustained
+/// overload every backlogged tenant becomes eligible — and is dispatched —
+/// before any rival earns more credit: one tenant flooding the queue cannot
+/// starve the rest, and long-term trial throughput converges to the weight
+/// ratio.  The whole pick is a deterministic function of the registry state
+/// and the candidate list, so dispatch traces replay exactly.
 class TenantRegistry {
  public:
   explicit TenantRegistry(std::int64_t default_budget,
@@ -61,6 +83,11 @@ class TenantRegistry {
   /// budget when `budget >= 0`.  A budget below what is already charged
   /// clamps to the charged amount (no retroactive debt).
   void ensure(const std::string& name, std::int64_t budget = -1);
+
+  /// Set `name`'s fair-queue weight (auto-creating it).  Non-positive
+  /// weights are ignored — 0 is the protocol's "leave unchanged" sentinel.
+  void set_weight(const std::string& name, double weight);
+  double weight(const std::string& name) const;
 
   /// Charge `trials` against `name`'s budget (auto-created at the default
   /// budget).  Returns false — and fills `*reason` — when the remaining
@@ -79,8 +106,24 @@ class TenantRegistry {
                        std::int64_t trials_used, double gain_ms);
 
   /// The Eq. 3 pick over `candidates` (names; unknown ones are treated as
-  /// fresh tenants).  Returns the winner's index, or -1 when empty.
+  /// fresh tenants).  Returns the winner's index, or -1 when empty.  Pure
+  /// priority, no fairness layer — `pick_weighted` is the dispatcher's
+  /// entry point.
   int pick(const std::vector<std::string>& candidates) const;
+
+  /// Weighted deficit-round-robin pick over one candidate per tenant (its
+  /// head pending job).  Eligible = deficit covers cost; when nobody is
+  /// eligible every candidate is topped up by the minimal whole number of
+  /// weight-quanta that makes at least one eligible (closed form — no
+  /// busy-looping).  Among the eligible, the Eq. 3 gradient argmin picks,
+  /// and the winner's deficit pays its cost.  Returns the winner's index,
+  /// or -1 when `candidates` is empty.  Deterministic: same registry state
+  /// + same candidate list ⇒ same winner and same deficit mutations.
+  int pick_weighted(const std::vector<DispatchCandidate>& candidates);
+
+  /// `name`'s pending queue drained: drop its accumulated credit, the DRR
+  /// rule that stops an idle tenant from hoarding dispatch priority.
+  void clear_deficit(const std::string& name);
 
   std::int64_t remaining(const std::string& name) const;
   std::int64_t num_tenants() const;
@@ -89,6 +132,7 @@ class TenantRegistry {
 
  private:
   TenantStatus& ensure_locked(const std::string& name);
+  int pick_locked(const std::vector<const std::string*>& names) const;
 
   mutable std::mutex mu_;
   std::int64_t default_budget_;

@@ -216,6 +216,62 @@ TEST(KnowledgeCache, GoldenAdviceIsDeterministicAndValid) {
   EXPECT_EQ(a.stats().l3_hits, 1u);
 }
 
+TEST(KnowledgeCache, InsertReportsBestDisplacementAndCountsInvalidations) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 64, 64);
+  std::vector<Sketch> sketches = generate_sketches(g);
+
+  KnowledgeCache cache;
+  bool displaced = true;
+  ASSERT_TRUE(cache.insert(synth_record(g, sketches, hw, "net", 2.0, 1),
+                           &displaced));
+  EXPECT_FALSE(displaced);  // first record of an entry is no *displacement*
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  // A slower record leaves the best alone.
+  ASSERT_TRUE(cache.insert(synth_record(g, sketches, hw, "net", 3.0, 2),
+                           &displaced));
+  EXPECT_FALSE(displaced);
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+
+  // A faster one retires the cached best: flagged and counted, and the very
+  // next serve answers with the new best — no stale window.
+  TuningRecord better = synth_record(g, sketches, hw, "net", 1.0, 3);
+  ASSERT_TRUE(cache.insert(better, &displaced));
+  EXPECT_TRUE(displaced);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  ServeResult res = cache.serve("net", g, hw);
+  ASSERT_EQ(res.tier, ServeTier::kL1);
+  EXPECT_EQ(record_to_json(res.record), record_to_json(better));
+}
+
+TEST(KnowledgeCache, PublishCacheStampsTheGenerationItWrote) {
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 64, 64);
+  std::vector<Sketch> sketches = generate_sketches(g);
+  TempPath file("test_kcache_publish_gen.json");
+
+  KnowledgeCache cache;
+  EXPECT_EQ(cache.generation(), 0u);  // never published
+  cache.insert(synth_record(g, sketches, hw, "net", 2.0, 1));
+  std::string error;
+  ASSERT_TRUE(publish_cache(cache, file.path, &error)) << error;
+  EXPECT_EQ(cache.generation(), cache_fingerprint(cache));
+  EXPECT_EQ(cache.stats().refreshes, 1u);
+
+  // A reader of the published file lands on the same generation.
+  KnowledgeCache reader;
+  ASSERT_TRUE(load_cache(file.path, &reader, &error)) << error;
+  reader.note_reload(cache_fingerprint(reader));
+  EXPECT_EQ(reader.generation(), cache.generation());
+
+  // Republish after a change moves the generation.
+  std::uint64_t gen1 = cache.generation();
+  cache.insert(synth_record(g, sketches, hw, "net", 1.0, 2));
+  ASSERT_TRUE(publish_cache(cache, file.path, &error)) << error;
+  EXPECT_NE(cache.generation(), gen1);
+}
+
 TEST(KnowledgeCache, UpdaterCallbackServesNewBestWithinOnePeriod) {
   HardwareConfig hw = HardwareConfig::test_config();
   Subgraph g = make_gemm(64, 64, 64);

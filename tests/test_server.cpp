@@ -98,6 +98,7 @@ TEST(Protocol, RequestRoundTripsEveryField) {
   req.seed = 7;
   req.policy = "random";
   req.job = 3;
+  req.weight = 2.5;
 
   std::string line = request_to_json(req);
   Request back;
@@ -147,6 +148,11 @@ TEST(Protocol, ResponseRoundTripsEveryField) {
   resp.jobs_completed = 2;
   resp.jobs_resumed = 1;
   resp.tenants = 3;
+  resp.cache_gen = 18446744073709551615ull;  // a fingerprint: full uint64
+  resp.role = "replica";
+  resp.refreshes = 4;
+  resp.invalidations = 2;
+  resp.reloads = 3;
 
   std::string line = response_to_json(resp);
   Response back;
@@ -178,6 +184,12 @@ TEST(Protocol, MalformedRequestCorpusAllRejected) {
       "{\"v\":1,\"type\":\"qu",                // truncated mid-string
       "{\"v\":1,\"type\":\"query\"",           // truncated mid-object
       "{\"v\":1,,\"type\":\"query\"}",         // stray comma
+      // Fair-queue weight: a number or nothing.
+      "{\"v\":1,\"type\":\"hello\",\"tenant\":\"a\",\"weight\":\"heavy\"}",
+      "{\"v\":1,\"type\":\"hello\",\"tenant\":\"a\",\"weight\":[2]}",
+      "{\"v\":1,\"type\":\"hello\",\"tenant\":\"a\",\"weight\":{\"x\":1}}",
+      "{\"v\":1,\"type\":\"hello\",\"tenant\":\"a\",\"weight\":true}",
+      "{\"v\":1,\"type\":\"hello\",\"tenant\":\"a\",\"weight\":2.",  // torn
   };
   for (const char* line : corpus) {
     Request out;
@@ -197,6 +209,15 @@ TEST(Protocol, MalformedResponseCorpusAllRejected) {
       "{\"v\":1,\"ok\":\"yes\"}",         // ok not a bool
       "{\"v\":1,\"ok\":true,\"score\":\"high\"}",
       "{\"v\":1,\"ok\":true,\"tier\":1}",
+      // Freshness / replica fields: typed like their senders or rejected.
+      "{\"v\":1,\"ok\":true,\"cache_gen\":\"new\"}",
+      "{\"v\":1,\"ok\":true,\"cache_gen\":{}}",
+      "{\"v\":1,\"ok\":true,\"role\":9}",
+      "{\"v\":1,\"ok\":true,\"role\":[\"replica\"]}",
+      "{\"v\":1,\"ok\":true,\"refreshes\":\"some\"}",
+      "{\"v\":1,\"ok\":true,\"invalidations\":false}",
+      "{\"v\":1,\"ok\":true,\"reloads\":[1]}",
+      "{\"v\":1,\"ok\":true,\"reloads\":\"3\"}",
   };
   for (const char* line : corpus) {
     Response out;
@@ -582,6 +603,110 @@ TEST(Server, SurvivesConcurrentAndMalformedClients) {
   Response served = server.handle_for_test(query);
   EXPECT_TRUE(served.ok) << served.error;
   server.shutdown();
+}
+
+// A valid synthetic record of `graph` on `hw` (mirrors the knowledge-cache
+// test helper): a random schedule of a generated sketch with provenance.
+TuningRecord synth_record(const Subgraph& graph,
+                          const std::vector<Sketch>& sketches,
+                          const HardwareConfig& hw, const std::string& network,
+                          double time_ms, std::uint64_t seed) {
+  Rng rng(seed);
+  const Sketch& sk = sketches[rng.pick_index(sketches.size())];
+  Schedule s = random_schedule(sk, hw.num_unroll_options(), rng);
+  TuningRecord rec;
+  rec.network = network;
+  rec.task = graph.name();
+  rec.task_index = 0;
+  rec.hardware_fp = hw.fingerprint();
+  rec.policy = "test";
+  rec.seed = seed;
+  rec.sketch_id = sk.sketch_id;
+  rec.sketch_tag = sk.tag;
+  rec.stages = decisions_from_schedule(s);
+  rec.time_ms = time_ms;
+  rec.trial_index = static_cast<std::int64_t>(seed);
+  rec.task_sig = graph.structure_signature();
+  rec.hw_sim = hw.similarity_vector();
+  return rec;
+}
+
+TEST(Server, QueryRacingRepublishIsNeverTorn) {
+  // A writer republishes ever-better bests while readers reload and serve:
+  // every answer must be byte-identical to one of the published bests —
+  // old-best or new-best, never a torn or invented record.  This is the
+  // file-level contract replicas rely on (CRC footer + atomic rename).
+  TempDir dir("test_server_invalidation_race");
+  ASSERT_EQ(::mkdir(dir.path.c_str(), 0755), 0);
+  const std::string path = dir.path + "/knowledge.cache.json";
+  HardwareConfig hw = HardwareConfig::test_config();
+  Subgraph g = make_gemm(64, 64, 64);
+  std::vector<Sketch> sketches = generate_sketches(g);
+
+  constexpr int kGenerations = 40;
+  // Pre-compute the per-generation bests so readers can check membership.
+  std::vector<std::string> best_bytes;
+  {
+    KnowledgeCache proto;
+    for (int i = 0; i < kGenerations; ++i) {
+      TuningRecord rec = synth_record(g, sketches, hw, "race_net",
+                                      /*time_ms=*/kGenerations - i,
+                                      /*seed=*/static_cast<std::uint64_t>(i));
+      bool displaced = false;
+      ASSERT_TRUE(proto.insert(rec, &displaced));
+      EXPECT_EQ(displaced, i > 0);  // each insert beats the previous best
+      best_bytes.push_back(record_to_json(rec));
+    }
+    EXPECT_EQ(proto.stats().invalidations,
+              static_cast<std::size_t>(kGenerations - 1));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::atomic<std::int64_t> served{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        KnowledgeCache snap;
+        std::string err;
+        if (!load_cache(path, &snap, &err)) continue;  // not yet published
+        ServeResult res = snap.serve("race_net", g, hw);
+        if (res.tier != ServeTier::kL1) continue;  // golden advice pre-publish
+        std::string bytes = record_to_json(res.record);
+        if (std::find(best_bytes.begin(), best_bytes.end(), bytes) ==
+            best_bytes.end()) {
+          torn.fetch_add(1);
+        }
+        served.fetch_add(1);
+      }
+    });
+  }
+
+  KnowledgeCache cache;
+  for (int i = 0; i < kGenerations; ++i) {
+    TuningRecord rec = synth_record(g, sketches, hw, "race_net",
+                                    kGenerations - i,
+                                    static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(cache.insert(rec));
+    std::string err;
+    ASSERT_TRUE(publish_cache(cache, path, &err)) << err;
+  }
+  // Let the readers chew on the final generation too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  for (std::thread& th : readers) th.join();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(served.load(), 0);
+
+  // Post-race: the file serves exactly the final best, bit-identically.
+  KnowledgeCache last;
+  std::string err;
+  ASSERT_TRUE(load_cache(path, &last, &err)) << err;
+  ServeResult res = last.serve("race_net", g, hw);
+  ASSERT_EQ(res.tier, ServeTier::kL1);
+  EXPECT_EQ(record_to_json(res.record), best_bytes.back());
 }
 
 }  // namespace
